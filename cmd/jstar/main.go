@@ -1,0 +1,87 @@
+// Command jstar compiles and runs a JStar source file on the engine.
+//
+//	jstar [flags] program.jstar
+//
+// Flags mirror the paper's compiler options: -sequential generates a
+// sequential run, -threads sets the fork/join pool size, -noDelta/-noGamma
+// apply the §5.1 optimisations, and -check discharges the §4 causality
+// proof obligations before running.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/jstar-lang/jstar/internal/causality"
+	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/lang"
+	"github.com/jstar-lang/jstar/internal/stats"
+)
+
+func main() {
+	sequential := flag.Bool("sequential", false, "generate sequential code")
+	threads := flag.Int("threads", 0, "fork/join pool size (0 = NumCPU)")
+	noDelta := flag.String("noDelta", "", "comma-separated tables to bypass the Delta set")
+	noGamma := flag.String("noGamma", "", "comma-separated trigger-only tables")
+	check := flag.Bool("check", true, "verify causality obligations before running")
+	runtimeCheck := flag.Bool("runtimeCheck", false, "enable the runtime causality checker")
+	maxSteps := flag.Int64("maxSteps", 10_000_000, "abort after this many steps (0 = no limit)")
+	showStats := flag.Bool("stats", false, "print per-table usage statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jstar [flags] program.jstar")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := lang.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lang.Compile(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *check {
+		specs, err := lang.ExtractSpecs(f)
+		if err != nil {
+			fatal(err)
+		}
+		obs := causality.NewChecker(prog.PartialOrder()).Check(specs)
+		if !causality.AllProved(obs) {
+			fmt.Fprint(os.Stderr, causality.Report(obs))
+			fmt.Fprintln(os.Stderr, "jstar: warning: unproved causality obligations (running anyway; use -runtimeCheck to trap violations)")
+		}
+	}
+	opts := core.Options{
+		Sequential:     *sequential,
+		Threads:        *threads,
+		CheckCausality: *runtimeCheck,
+		MaxSteps:       *maxSteps,
+	}
+	if *noDelta != "" {
+		opts.NoDelta = strings.Split(*noDelta, ",")
+	}
+	if *noGamma != "" {
+		opts.NoGamma = strings.Split(*noGamma, ",")
+	}
+	run, err := prog.Execute(opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, line := range run.Output() {
+		fmt.Print(line)
+	}
+	if *showStats {
+		fmt.Fprint(os.Stderr, stats.TableReport(run))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command events demonstrates JStar's event-driven programming model (§3):
+// external input tuples arrive while the program runs, trigger rules, and
+// ordered output is produced through a Println table whose side effects
+// happen when its tuples leave the Delta set — in causal order, no matter
+// how parallel the execution is (§6.2 fn 8's "kosher way of printing").
+//
+// The program is a tiny trading monitor: Price events stream in; a rule
+// maintains a running maximum per symbol and emits an ordered alert line
+// whenever a new high is seen.
+//
+//	go run ./examples/events
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/jstar-lang/jstar"
+)
+
+func main() {
+	p := jstar.NewProgram()
+	// Timestamp-first orderby lists: everything at time t settles before
+	// anything at time t+1.
+	price := p.Table("Price",
+		jstar.Cols(jstar.IntCol("t"), jstar.StrCol("sym"), jstar.IntCol("cents")),
+		jstar.OrderBy(jstar.Seq("t"), jstar.Lit("Price")))
+	high := p.Table("High",
+		jstar.Cols(jstar.IntCol("t"), jstar.StrCol("sym"), jstar.IntCol("cents")),
+		jstar.OrderBy(jstar.Seq("t"), jstar.Lit("High")))
+	alert := p.PrintlnTable("Alert",
+		jstar.OrderBy(jstar.Seq("line"), jstar.Lit("Alert")))
+	p.Order("Price", "High", "Alert")
+
+	p.Rule("watchHighs", price, func(c *jstar.Ctx, e *jstar.Tuple) {
+		t, sym, cents := e.Int("t"), e.Str("sym"), e.Int("cents")
+		// Previous high for this symbol: a query into the strict past.
+		best := int64(-1)
+		c.ForEach(high, jstar.Where(func(h *jstar.Tuple) bool {
+			return h.Str("sym") == sym && h.Int("t") < t
+		}), func(h *jstar.Tuple) bool {
+			if h.Int("cents") > best {
+				best = h.Int("cents")
+			}
+			return true
+		})
+		if cents > best {
+			c.PutNew(high, jstar.Int(t), jstar.Str(sym), jstar.Int(cents))
+			c.PutNew(alert, jstar.Str(fmt.Sprintf("t=%02d new high %s %d.%02d",
+				t, sym, cents/100, cents%100)))
+		}
+	})
+
+	run, err := p.NewRun(jstar.Options{Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := make(chan *jstar.Tuple)
+	go func() {
+		defer close(events)
+		feed := []struct {
+			t     int64
+			sym   string
+			cents int64
+		}{
+			{1, "ACME", 1000}, {2, "GLOB", 500}, {3, "ACME", 990},
+			{4, "ACME", 1020}, {5, "GLOB", 480}, {6, "GLOB", 510},
+			{7, "ACME", 1019}, {8, "ACME", 1100},
+		}
+		for _, e := range feed {
+			events <- jstar.New(price, jstar.Int(e.t), jstar.Str(e.sym), jstar.Int(e.cents))
+		}
+	}()
+	if err := run.ExecuteEvents(events); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range run.Output() {
+		fmt.Print(line)
+	}
+	fmt.Printf("events=%d alerts=%d steps=%d\n",
+		run.Stats().Tables["Price"].Triggers.Load(),
+		run.Gamma().Table(high).Len(), run.Stats().Steps)
+}

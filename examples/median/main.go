@@ -1,0 +1,52 @@
+// Command median runs the paper's §6.6 median-finding program: an
+// explicitly parallel distributed quickselect over a large array of random
+// doubles, with the rolling two-iteration native-array Gamma store.
+// Compares against the full-sort baseline (the paper's Java Arrays.sort
+// program) and the sequential quickselect.
+//
+//	go run ./examples/median -n 10000000 -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/jstar-lang/jstar/internal/apps/median"
+)
+
+func main() {
+	n := flag.Int("n", 1000000, "array size (paper: 100,000,000)")
+	regions := flag.Int("regions", 24, "partition tasks per iteration")
+	threads := flag.Int("threads", 0, "fork/join pool size (0 = NumCPU)")
+	seed := flag.Uint64("seed", 42, "data seed")
+	flag.Parse()
+
+	start := time.Now()
+	res, err := median.RunJStar(median.RunOpts{
+		N: *n, Regions: *regions, Threads: *threads, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	jstarTime := time.Since(start)
+
+	vals := median.Values(*n, *seed)
+	start = time.Now()
+	want := median.SortBaseline(vals)
+	sortTime := time.Since(start)
+	start = time.Now()
+	qs := median.Quickselect(vals, *seed)
+	qsTime := time.Since(start)
+
+	fmt.Printf("n=%d regions=%d\n", *n, *regions)
+	fmt.Printf("jstar:       median=%v  %v (threads=%d, steps=%d)\n",
+		res.Median, jstarTime.Round(time.Millisecond), res.Run.Threads(), res.Run.Stats().Steps)
+	fmt.Printf("sort:        median=%v  %v\n", want, sortTime.Round(time.Millisecond))
+	fmt.Printf("quickselect: median=%v  %v\n", qs, qsTime.Round(time.Millisecond))
+	if res.Median != want || qs != want {
+		log.Fatal("MEDIAN MISMATCH")
+	}
+	fmt.Println("all three agree")
+}

@@ -1,0 +1,60 @@
+// Command shortestpath runs the paper's Fig 5 Dijkstra program: generate a
+// random connected graph in parallel tasks, then let the Delta tree act as
+// the priority queue. Compares the JStar run against the hand-coded
+// binary-heap baseline.
+//
+//	go run ./examples/shortestpath -vertices 100000 -extra 200000 -threads 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/jstar-lang/jstar/internal/apps/shortestpath"
+)
+
+func main() {
+	vertices := flag.Int("vertices", 50000, "graph vertices (paper: 1,000,000)")
+	extra := flag.Int("extra", 100000, "extra random edges (paper: 1,000,000)")
+	tasks := flag.Int("tasks", 24, "parallel graph-generation tasks")
+	threads := flag.Int("threads", 0, "fork/join pool size (0 = NumCPU)")
+	seed := flag.Uint64("seed", 42, "graph seed")
+	flag.Parse()
+
+	opts := shortestpath.RunOpts{
+		Gen: shortestpath.GenOpts{
+			Vertices: *vertices, Extra: *extra, Tasks: *tasks, Seed: *seed,
+		},
+		Threads: *threads,
+	}
+	start := time.Now()
+	res, err := shortestpath.RunJStar(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jstarTime := time.Since(start)
+
+	start = time.Now()
+	edges := shortestpath.Generate(opts.Gen)
+	want := shortestpath.Baseline(edges, *vertices)
+	baseTime := time.Since(start)
+
+	mismatches := 0
+	var sum int64
+	for v := range want {
+		if res.Dist[v] != want[v] {
+			mismatches++
+		}
+		sum += want[v]
+	}
+	fmt.Printf("vertices=%d edges=%d  sum(dist)=%d\n", *vertices, len(edges), sum)
+	fmt.Printf("jstar:    %v (threads=%d, steps=%d)\n",
+		jstarTime.Round(time.Millisecond), res.Run.Threads(), res.Run.Stats().Steps)
+	fmt.Printf("baseline: %v (generate + heap dijkstra)\n", baseTime.Round(time.Millisecond))
+	if mismatches != 0 {
+		log.Fatalf("MISMATCH on %d vertices", mismatches)
+	}
+	fmt.Println("all distances match the baseline")
+}

@@ -1,0 +1,417 @@
+package causality
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/jstar-lang/jstar/internal/order"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+func TestExprArithmetic(t *testing.T) {
+	e := Var("x").Add(Var("y")).AddConst(3) // x + y + 3
+	e = e.Sub(Var("y"))                     // x + 3
+	if got := e.String(); got != "x + 3" {
+		t.Errorf("String = %q", got)
+	}
+	e2 := Var("x").Scale(2).AddConst(-1)
+	if got := e2.String(); got != "2*x - 1" {
+		t.Errorf("String = %q", got)
+	}
+	if _, ok := e.IsConst(); ok {
+		t.Error("x+3 is not const")
+	}
+	if k, ok := Const(7).IsConst(); !ok || k.RatString() != "7" {
+		t.Error("Const(7)")
+	}
+	if Const(0).String() != "0" {
+		t.Errorf("Const(0).String = %q", Const(0).String())
+	}
+	if Var("x").Scale(-1).String() != "-x" {
+		t.Errorf("-x renders as %q", Var("x").Scale(-1).String())
+	}
+}
+
+func TestSatisfiableBasic(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	cases := []struct {
+		name string
+		cons []Constraint
+		want bool
+	}{
+		{"empty", nil, true},
+		{"x>=1", []Constraint{GE(x, Const(1))}, true},
+		{"x>=1 and x<=0", []Constraint{GE(x, Const(1)), LE(x, Const(0))}, false},
+		{"x>0 and x<1", []Constraint{GT(x, Const(0)), LT(x, Const(1))}, true}, // rationals are dense
+		{"x>=0 and x<=0", []Constraint{GE(x, Const(0)), LE(x, Const(0))}, true},
+		{"x>0 and x<=0", []Constraint{GT(x, Const(0)), LE(x, Const(0))}, false},
+		{"x<=y and y<=x and x<y", append(EQ(x, y), LT(x, y)), false},
+		{"transitivity", []Constraint{LE(x, y), LE(y, Const(5)), GE(x, Const(6))}, false},
+		{"const true", []Constraint{GE(Const(3), Const(2))}, true},
+		{"const false", []Constraint{GT(Const(2), Const(2))}, false},
+		{"x+y>=3, x<=1, y<=1", []Constraint{GE(x.Add(y), Const(3)), LE(x, Const(1)), LE(y, Const(1))}, false},
+		{"x+y>=2, x<=1, y<=1", []Constraint{GE(x.Add(y), Const(2)), LE(x, Const(1)), LE(y, Const(1))}, true},
+	}
+	for _, c := range cases {
+		if got := Satisfiable(c.cons); got != c.want {
+			t.Errorf("%s: Satisfiable = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSatisfiableThreeVarChain(t *testing.T) {
+	x, y, z := Var("x"), Var("y"), Var("z")
+	// x < y < z < x is unsatisfiable.
+	cons := []Constraint{LT(x, y), LT(y, z), LT(z, x)}
+	if Satisfiable(cons) {
+		t.Error("cyclic strict chain must be UNSAT")
+	}
+	// x <= y <= z <= x forces equality; satisfiable.
+	cons = []Constraint{LE(x, y), LE(y, z), LE(z, x)}
+	if !Satisfiable(cons) {
+		t.Error("cyclic non-strict chain is SAT (all equal)")
+	}
+}
+
+func TestEntails(t *testing.T) {
+	x := Var("x")
+	// x >= 2 entails x >= 1.
+	if !Entails([]Constraint{GE(x, Const(2))}, GE(x, Const(1))) {
+		t.Error("x>=2 ⟹ x>=1")
+	}
+	// x >= 1 does not entail x >= 2.
+	if Entails([]Constraint{GE(x, Const(1))}, GE(x, Const(2))) {
+		t.Error("x>=1 ⟹ x>=2 must fail")
+	}
+	// x >= 1 entails x+1 > x trivially.
+	if !Entails(nil, GT(x.AddConst(1), x)) {
+		t.Error("x+1 > x is valid")
+	}
+}
+
+// TestFMRandomPointCheck: any satisfiable random system we build from a
+// known witness point must be reported satisfiable.
+func TestFMRandomPointCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	vars := []string{"a", "b", "c"}
+	for trial := 0; trial < 200; trial++ {
+		// Witness point.
+		point := map[string]int64{}
+		for _, v := range vars {
+			point[v] = int64(r.Intn(21) - 10)
+		}
+		// Build constraints satisfied by the witness.
+		var cons []Constraint
+		for i := 0; i < 5; i++ {
+			e := Const(0)
+			var val int64
+			for _, v := range vars {
+				c := int64(r.Intn(7) - 3)
+				if c != 0 {
+					e = e.Add(Var(v).Scale(c))
+					val += c * point[v]
+				}
+			}
+			// e >= val always holds at the witness.
+			cons = append(cons, GE(e, Const(val)))
+		}
+		if !Satisfiable(cons) {
+			t.Fatalf("trial %d: witness-satisfied system reported UNSAT", trial)
+		}
+	}
+}
+
+// TestFMAntisymmetryProperty: Entails(h, c) and Satisfiable(h ∧ ¬c) are
+// complements by construction; spot-check via random difference bounds.
+func TestFMDifferenceBoundsProperty(t *testing.T) {
+	f := func(lo, hi int8) bool {
+		x := Var("x")
+		cons := []Constraint{GE(x, Const(int64(lo))), LE(x, Const(int64(hi)))}
+		return Satisfiable(cons) == (lo <= hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func po(t *testing.T, chains ...[]string) *order.PartialOrder {
+	t.Helper()
+	p := order.NewPartialOrder()
+	for _, c := range chains {
+		if err := p.Declare(c...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// shipRule is the paper's guarded Ship rule: trigger Ship(frame,...) with
+// key (Int, frame); put Ship with key (Int, frame+1).
+func shipRule() RuleSpec {
+	return RuleSpec{
+		Name:       "moveRight",
+		Trigger:    "Ship",
+		TriggerKey: []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame"))},
+		Puts: []PutSpec{{
+			Table: "Ship",
+			Key:   []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame").AddConst(1))},
+		}},
+	}
+}
+
+func TestShipPutProved(t *testing.T) {
+	ck := NewChecker(po(t))
+	obs := ck.Check([]RuleSpec{shipRule()})
+	if len(obs) != 1 || !obs[0].Proved {
+		t.Fatalf("ship obligation: %+v", obs)
+	}
+	if !AllProved(obs) {
+		t.Error("AllProved")
+	}
+}
+
+func TestPutIntoPastRejected(t *testing.T) {
+	r := shipRule()
+	r.Puts[0].Key = []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame").AddConst(-1))}
+	ck := NewChecker(po(t))
+	obs := ck.Check([]RuleSpec{r})
+	if obs[0].Proved {
+		t.Fatal("put into frame-1 must fail the causality check")
+	}
+	if !strings.Contains(obs[0].Reason, "cannot prove") {
+		t.Errorf("reason = %q", obs[0].Reason)
+	}
+}
+
+func TestPutSameTimestampProved(t *testing.T) {
+	// put at the same frame is allowed (<=).
+	r := shipRule()
+	r.Puts[0].Key = []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame"))}
+	ck := NewChecker(po(t))
+	if obs := ck.Check([]RuleSpec{r}); !obs[0].Proved {
+		t.Fatalf("same-timestamp put must be proved: %+v", obs[0])
+	}
+}
+
+func TestGuardMakesPutProvable(t *testing.T) {
+	// put Ship(frame + dx) is only causal when dx >= 0; the guard provides it.
+	r := shipRule()
+	r.Puts[0].Key = []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame").Add(Var("trig.dx")))}
+	ck := NewChecker(po(t))
+	if obs := ck.Check([]RuleSpec{r}); obs[0].Proved {
+		t.Fatal("unguarded frame+dx must fail")
+	}
+	r.Puts[0].Guard = []Constraint{GE(Var("trig.dx"), Const(0))}
+	if obs := ck.Check([]RuleSpec{r}); !obs[0].Proved {
+		t.Fatalf("guarded frame+dx must be proved: %+v", obs)
+	}
+}
+
+func TestInvariantMakesPutProvable(t *testing.T) {
+	// Tuple invariant dx >= 1 proves frame+dx > frame ("strengthen
+	// invariants", §4).
+	r := shipRule()
+	r.Puts[0].Key = []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame").Add(Var("trig.dx")))}
+	r.Invariants = []Constraint{GE(Var("trig.dx"), Const(1))}
+	ck := NewChecker(po(t))
+	if obs := ck.Check([]RuleSpec{r}); !obs[0].Proved {
+		t.Fatalf("invariant-backed put must be proved: %+v", obs)
+	}
+}
+
+func TestLiteralLevelOrdering(t *testing.T) {
+	// PvWatts rule puts SumMonth; order PvWatts < SumMonth settles level 0.
+	p := po(t, []string{"Req", "PvWatts", "SumMonth"})
+	r := RuleSpec{
+		Name:       "monthly",
+		Trigger:    "PvWatts",
+		TriggerKey: []KeyExpr{LitKey("PvWatts")},
+		Puts:       []PutSpec{{Table: "SumMonth", Key: []KeyExpr{LitKey("SumMonth")}}},
+	}
+	ck := NewChecker(p)
+	if obs := ck.Check([]RuleSpec{r}); !obs[0].Proved {
+		t.Fatalf("literal-level put: %+v", obs)
+	}
+	// Reverse direction must fail.
+	r.Puts[0].Key = []KeyExpr{LitKey("Req")}
+	if obs := ck.Check([]RuleSpec{r}); obs[0].Proved {
+		t.Fatal("put into an earlier stratum must fail")
+	}
+}
+
+func TestIncomparableLiteralsReported(t *testing.T) {
+	// Without the order declaration the solver cannot prove stratification
+	// — the paper's "Stratification error" for the omitted declaration.
+	r := RuleSpec{
+		Name:       "monthly",
+		Trigger:    "PvWatts",
+		TriggerKey: []KeyExpr{LitKey("PvWatts")},
+		Puts:       []PutSpec{{Table: "SumMonth", Key: []KeyExpr{LitKey("SumMonth")}}},
+	}
+	ck := NewChecker(po(t))
+	obs := ck.Check([]RuleSpec{r})
+	if obs[0].Proved {
+		t.Fatal("incomparable literals must not be proved")
+	}
+	if !strings.Contains(obs[0].Reason, "incomparable") {
+		t.Errorf("reason = %q", obs[0].Reason)
+	}
+}
+
+func TestNegativeQueryNeedsStrictPast(t *testing.T) {
+	// Obligation 3: negative query timestamp must be strictly before the
+	// trigger. Query at frame-1 proves; query at frame does not.
+	base := RuleSpec{
+		Name:       "check",
+		Trigger:    "Ship",
+		TriggerKey: []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame"))},
+		Queries: []QuerySpec{{
+			Table: "Ship",
+			Kind:  Negative,
+			Key:   []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame").AddConst(-1))},
+		}},
+	}
+	ck := NewChecker(po(t))
+	if obs := ck.Check([]RuleSpec{base}); !obs[0].Proved {
+		t.Fatalf("strict-past negative query: %+v", obs)
+	}
+	base.Queries[0].Key = []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame"))}
+	obs := ck.Check([]RuleSpec{base})
+	if obs[0].Proved {
+		t.Fatal("same-timestamp negative query must fail (obligation 3)")
+	}
+	if !strings.Contains(obs[0].Reason, "strict") {
+		t.Errorf("reason = %q", obs[0].Reason)
+	}
+}
+
+func TestPositiveQueryAllowsPresent(t *testing.T) {
+	r := RuleSpec{
+		Name:       "read",
+		Trigger:    "Ship",
+		TriggerKey: []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame"))},
+		Queries: []QuerySpec{{
+			Table: "Ship",
+			Kind:  Positive,
+			Key:   []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame"))},
+		}},
+	}
+	ck := NewChecker(po(t))
+	if obs := ck.Check([]RuleSpec{r}); !obs[0].Proved {
+		t.Fatalf("present positive query must be proved: %+v", obs)
+	}
+}
+
+func TestDijkstraRuleProved(t *testing.T) {
+	// foreach (Estimate dist): negative query Done(dist.vertex) with
+	// distance < dist.distance; puts Done(dist.distance) and
+	// Estimate(dist.distance + edge.value) with edge.value >= 1.
+	p := po(t, []string{"Vertex", "Edge", "Int"}, []string{"Estimate", "Done"})
+	r := RuleSpec{
+		Name:       "dijkstra",
+		Trigger:    "Estimate",
+		TriggerKey: []KeyExpr{LitKey("Int"), ExprKey(Var("trig.distance")), LitKey("Estimate")},
+		Invariants: []Constraint{GE(Var("edge.value"), Const(1))},
+		Puts: []PutSpec{
+			{
+				Table: "Done",
+				Key:   []KeyExpr{LitKey("Int"), ExprKey(Var("trig.distance")), LitKey("Done")},
+			},
+			{
+				Table: "Estimate",
+				Key: []KeyExpr{LitKey("Int"),
+					ExprKey(Var("trig.distance").Add(Var("edge.value"))), LitKey("Estimate")},
+			},
+		},
+		Queries: []QuerySpec{{
+			Table: "Done",
+			Kind:  Negative,
+			// Done tuples with distance < dist.distance: the query lambda
+			// bounds the queried timestamp.
+			Guard: []Constraint{LT(Var("done.distance"), Var("trig.distance"))},
+			Key:   []KeyExpr{LitKey("Int"), ExprKey(Var("done.distance")), LitKey("Done")},
+		}},
+	}
+	ck := NewChecker(p)
+	obs := ck.Check([]RuleSpec{r})
+	for _, o := range obs {
+		if !o.Proved {
+			t.Errorf("unproved: %+v", o)
+		}
+	}
+	rep := Report(obs)
+	if !strings.Contains(rep, "3/3 obligations proved") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestMixedLevelKindsRejected(t *testing.T) {
+	r := RuleSpec{
+		Name:       "bad",
+		Trigger:    "A",
+		TriggerKey: []KeyExpr{LitKey("A")},
+		Puts:       []PutSpec{{Table: "B", Key: []KeyExpr{ExprKey(Var("x"))}}},
+	}
+	ck := NewChecker(po(t))
+	obs := ck.Check([]RuleSpec{r})
+	if obs[0].Proved || !strings.Contains(obs[0].Reason, "mixes") {
+		t.Errorf("mixed level kinds: %+v", obs[0])
+	}
+}
+
+func TestPrefixKeyRules(t *testing.T) {
+	ck := NewChecker(po(t))
+	// Put key longer than trigger key with equal prefix: put sorts after
+	// (future) — proved.
+	r := RuleSpec{
+		Name:       "deepen",
+		Trigger:    "A",
+		TriggerKey: []KeyExpr{ExprKey(Var("trig.t"))},
+		Puts: []PutSpec{{
+			Table: "B",
+			Key:   []KeyExpr{ExprKey(Var("trig.t")), ExprKey(Var("trig.x"))},
+		}},
+	}
+	if obs := ck.Check([]RuleSpec{r}); !obs[0].Proved {
+		t.Fatalf("longer put key must be proved: %+v", obs)
+	}
+	// Put key shorter than trigger key: put sorts before (past) — fails.
+	r2 := RuleSpec{
+		Name:       "shorten",
+		Trigger:    "A",
+		TriggerKey: []KeyExpr{ExprKey(Var("trig.t")), ExprKey(Var("trig.x"))},
+		Puts:       []PutSpec{{Table: "B", Key: []KeyExpr{ExprKey(Var("trig.t"))}}},
+	}
+	if obs := ck.Check([]RuleSpec{r2}); obs[0].Proved {
+		t.Fatal("shorter put key must fail (sorts before the trigger)")
+	}
+}
+
+func TestReportFormatsWarnings(t *testing.T) {
+	r := shipRule()
+	r.Puts[0].Key = []KeyExpr{LitKey("Int"), ExprKey(Var("trig.frame").AddConst(-1))}
+	ck := NewChecker(po(t))
+	rep := Report(ck.Check([]RuleSpec{r}))
+	if !strings.Contains(rep, "WARNING") || !strings.Contains(rep, "0/1") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestKeyOfSchemaHelper(t *testing.T) {
+	s := mustShipSchema()
+	key := KeyOfSchema(s, "trig")
+	if len(key) != 2 || key[0].Lit != "Int" {
+		t.Fatalf("key = %+v", key)
+	}
+	if key[1].Expr.String() != "trig.frame" {
+		t.Errorf("key[1] = %s", key[1].Expr.String())
+	}
+}
+
+func mustShipSchema() *tuple.Schema {
+	return tuple.MustSchema("Ship",
+		[]tuple.Column{{Name: "frame", Kind: tuple.KindInt}, {Name: "x", Kind: tuple.KindInt}},
+		[]tuple.OrderEntry{tuple.Lit("Int"), tuple.Seq("frame")})
+}

@@ -1,0 +1,279 @@
+// Package causality implements JStar's static causality checking (§4).
+//
+// The paper sends one proof obligation per `put` (the new tuple is in the
+// present or future of the trigger) and one per negative/aggregate query
+// (the queried timestamp is strictly in the past) to an SMT solver. The
+// obligations are linear inequalities over tuple timestamp fields, so this
+// package substitutes a complete decision procedure for exactly that
+// fragment: Fourier–Motzkin elimination over the rationals, with exact
+// big.Rat arithmetic.
+package causality
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Expr is a linear expression over named rational variables:
+// sum(coef[v] * v) + konst.
+type Expr struct {
+	coef  map[string]*big.Rat
+	konst *big.Rat
+}
+
+// Var returns the expression consisting of one variable.
+func Var(name string) Expr {
+	return Expr{coef: map[string]*big.Rat{name: big.NewRat(1, 1)}, konst: new(big.Rat)}
+}
+
+// Const returns a constant expression.
+func Const(k int64) Expr {
+	return Expr{coef: map[string]*big.Rat{}, konst: big.NewRat(k, 1)}
+}
+
+func (e Expr) clone() Expr {
+	c := make(map[string]*big.Rat, len(e.coef))
+	for v, r := range e.coef {
+		c[v] = new(big.Rat).Set(r)
+	}
+	return Expr{coef: c, konst: new(big.Rat).Set(e.konst)}
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	r := e.clone()
+	for v, c := range o.coef {
+		if cur, ok := r.coef[v]; ok {
+			cur.Add(cur, c)
+			if cur.Sign() == 0 {
+				delete(r.coef, v)
+			}
+		} else {
+			r.coef[v] = new(big.Rat).Set(c)
+		}
+	}
+	r.konst.Add(r.konst, o.konst)
+	return r
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr { return e.Add(o.Scale(-1)) }
+
+// Scale returns k * e.
+func (e Expr) Scale(k int64) Expr {
+	r := e.clone()
+	f := big.NewRat(k, 1)
+	for v := range r.coef {
+		r.coef[v].Mul(r.coef[v], f)
+		if r.coef[v].Sign() == 0 {
+			delete(r.coef, v)
+		}
+	}
+	r.konst.Mul(r.konst, f)
+	return r
+}
+
+// AddConst returns e + k.
+func (e Expr) AddConst(k int64) Expr { return e.Add(Const(k)) }
+
+// IsConst reports whether e has no variables, returning its value.
+func (e Expr) IsConst() (*big.Rat, bool) {
+	if len(e.coef) == 0 {
+		return e.konst, true
+	}
+	return nil, false
+}
+
+// String renders the expression deterministically.
+func (e Expr) String() string {
+	vars := make([]string, 0, len(e.coef))
+	for v := range e.coef {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	for _, v := range vars {
+		c := e.coef[v]
+		if b.Len() > 0 && c.Sign() >= 0 {
+			b.WriteString(" + ")
+		} else if c.Sign() < 0 {
+			if b.Len() > 0 {
+				b.WriteString(" - ")
+			} else {
+				b.WriteString("-")
+			}
+		}
+		abs := new(big.Rat).Abs(c)
+		if abs.Cmp(big.NewRat(1, 1)) != 0 {
+			b.WriteString(abs.RatString())
+			b.WriteString("*")
+		}
+		b.WriteString(v)
+	}
+	if b.Len() == 0 {
+		return e.konst.RatString()
+	}
+	if e.konst.Sign() > 0 {
+		b.WriteString(" + ")
+		b.WriteString(e.konst.RatString())
+	} else if e.konst.Sign() < 0 {
+		b.WriteString(" - ")
+		b.WriteString(new(big.Rat).Abs(e.konst).RatString())
+	}
+	return b.String()
+}
+
+// Constraint asserts Expr >= 0 (or > 0 when Strict).
+type Constraint struct {
+	E      Expr
+	Strict bool
+}
+
+// GE returns the constraint a >= b.
+func GE(a, b Expr) Constraint { return Constraint{E: a.Sub(b)} }
+
+// GT returns the constraint a > b.
+func GT(a, b Expr) Constraint { return Constraint{E: a.Sub(b), Strict: true} }
+
+// LE returns the constraint a <= b.
+func LE(a, b Expr) Constraint { return GE(b, a) }
+
+// LT returns the constraint a < b.
+func LT(a, b Expr) Constraint { return GT(b, a) }
+
+// EQ returns both directions of a == b.
+func EQ(a, b Expr) []Constraint { return []Constraint{GE(a, b), GE(b, a)} }
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	op := ">="
+	if c.Strict {
+		op = ">"
+	}
+	return fmt.Sprintf("%s %s 0", c.E.String(), op)
+}
+
+// Satisfiable decides whether the conjunction of constraints has a rational
+// solution, by Fourier–Motzkin variable elimination. Complete for linear
+// rational arithmetic; exponential in the worst case, but causality
+// obligations involve a handful of timestamp fields.
+func Satisfiable(cons []Constraint) bool {
+	// Copy.
+	cur := make([]Constraint, 0, len(cons))
+	for _, c := range cons {
+		cur = append(cur, Constraint{E: c.E.clone(), Strict: c.Strict})
+	}
+	for {
+		// Collect remaining variables.
+		varSet := map[string]bool{}
+		for _, c := range cur {
+			for v := range c.E.coef {
+				varSet[v] = true
+			}
+		}
+		if len(varSet) == 0 {
+			break
+		}
+		// Eliminate the variable with the fewest occurrences (heuristic).
+		vars := make([]string, 0, len(varSet))
+		for v := range varSet {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		best, bestCount := vars[0], 1<<30
+		for _, v := range vars {
+			n := 0
+			for _, c := range cur {
+				if _, ok := c.E.coef[v]; ok {
+					n++
+				}
+			}
+			if n < bestCount {
+				best, bestCount = v, n
+			}
+		}
+		next, ok := eliminate(cur, best)
+		if !ok {
+			return false // contradiction surfaced early
+		}
+		cur = next
+	}
+	// Only constants remain: every constraint must hold.
+	for _, c := range cur {
+		k, _ := c.E.IsConst()
+		if c.Strict {
+			if k.Sign() <= 0 {
+				return false
+			}
+		} else if k.Sign() < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// eliminate removes variable v by combining each lower bound with each
+// upper bound. ok is false on an immediate constant contradiction.
+func eliminate(cons []Constraint, v string) (result []Constraint, ok bool) {
+	var lowers, uppers, rest []Constraint
+	for _, c := range cons {
+		coef, ok := c.E.coef[v]
+		if !ok {
+			rest = append(rest, c)
+			continue
+		}
+		if coef.Sign() > 0 {
+			lowers = append(lowers, c) // a*v + r >= 0 with a>0: v >= -r/a
+		} else {
+			uppers = append(uppers, c) // a<0: v <= r/|a|
+		}
+	}
+	out := rest
+	for _, lo := range lowers {
+		for _, up := range uppers {
+			// lo: aL*v + rL >= 0 (aL>0);  up: aU*v + rU >= 0 (aU<0).
+			// Combine: aL*rU - aU*rL ... scale lo by -aU and up by aL, add.
+			aL := lo.E.coef[v]
+			aU := up.E.coef[v]
+			l := scaleRat(lo.E, new(big.Rat).Neg(aU)) // -aU > 0
+			u := scaleRat(up.E, aL)                   // aL > 0
+			comb := l.Add(u)
+			delete(comb.coef, v) // exact cancellation (guard numeric drift)
+			c := Constraint{E: comb, Strict: lo.Strict || up.Strict}
+			if k, isConst := c.E.IsConst(); isConst {
+				if c.Strict {
+					if k.Sign() <= 0 {
+						return nil, false
+					}
+				} else if k.Sign() < 0 {
+					return nil, false
+				}
+				continue // trivially true; drop
+			}
+			out = append(out, c)
+		}
+	}
+	return out, true
+}
+
+func scaleRat(e Expr, f *big.Rat) Expr {
+	r := e.clone()
+	for v := range r.coef {
+		r.coef[v].Mul(r.coef[v], f)
+		if r.coef[v].Sign() == 0 {
+			delete(r.coef, v)
+		}
+	}
+	r.konst.Mul(r.konst, f)
+	return r
+}
+
+// Entails decides whether hyps logically imply concl over the rationals:
+// valid iff hyps ∧ ¬concl is unsatisfiable. ¬(e >= 0) is -e > 0, and
+// ¬(e > 0) is -e >= 0.
+func Entails(hyps []Constraint, concl Constraint) bool {
+	neg := Constraint{E: concl.E.Scale(-1), Strict: !concl.Strict}
+	return !Satisfiable(append(append([]Constraint{}, hyps...), neg))
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/jstar-lang/jstar/internal/gamma"
+	"github.com/jstar-lang/jstar/internal/order"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// Ctx is the view a rule body has of the running program: it can put new
+// tuples, query the Gamma database (positively, negatively, and with
+// aggregates), and emit Println output. It corresponds to the generated
+// rule environment in the Java backend.
+type Ctx struct {
+	run     *Run
+	rule    *Rule
+	trigger *tuple.Tuple
+}
+
+// Trigger returns the tuple that fired this rule (nil for initial puts).
+func (c *Ctx) Trigger() *tuple.Tuple { return c.trigger }
+
+// Put adds a new tuple to the database (via the Delta set, or directly to
+// Gamma under -noDelta). Under Options.CheckCausality it panics if the new
+// tuple's causal key precedes the trigger's — the law of causality (§4).
+func (c *Ctx) Put(t *tuple.Tuple) {
+	c.run.put(c.rule.Name, c.trigger, t)
+}
+
+// PutNew builds a tuple positionally and puts it: ctx.PutNew(ship, v...) is
+// `put new Ship(v...)`.
+func (c *Ctx) PutNew(s *tuple.Schema, fields ...tuple.Value) {
+	c.Put(tuple.New(s, fields...))
+}
+
+// checkResult enforces, in CheckCausality mode, that a query result is not
+// from the future of the trigger (positive queries need key <= trigger).
+func (c *Ctx) checkResult(t *tuple.Tuple) {
+	if !c.run.opts.CheckCausality || c.trigger == nil {
+		return
+	}
+	po := c.run.prog.po
+	if order.Compare(order.KeyOf(po, t), order.KeyOf(po, c.trigger)) > 0 {
+		panic(fmt.Sprintf("jstar: causality violation: rule %s triggered by %v read future tuple %v",
+			c.rule.Name, c.trigger, t))
+	}
+}
+
+// ForEach visits the tuples of table s matching q — the positive query form
+// `for (x : get T(prefix, [where])) { ... }`.
+func (c *Ctx) ForEach(s *tuple.Schema, q gamma.Query, fn func(t *tuple.Tuple) bool) {
+	c.run.tableStats(s).Queries.Add(1)
+	c.run.gammaDB.Table(s).Select(q, func(t *tuple.Tuple) bool {
+		c.checkResult(t)
+		return fn(t)
+	})
+}
+
+// GetUniq returns the unique tuple matching q, or nil — `get uniq? T(...)`.
+// With more than one match it returns the first in store order (real JStar
+// flags this statically when the key does not force uniqueness).
+func (c *Ctx) GetUniq(s *tuple.Schema, q gamma.Query) *tuple.Tuple {
+	var got *tuple.Tuple
+	c.ForEach(s, q, func(t *tuple.Tuple) bool {
+		got = t
+		return false
+	})
+	return got
+}
+
+// Exists reports whether any tuple matches q. `get uniq? T(...) == null` is
+// the negative query form; Exists is its complement.
+func (c *Ctx) Exists(s *tuple.Schema, q gamma.Query) bool {
+	return c.GetUniq(s, q) != nil
+}
+
+// Count returns the number of matching tuples (an aggregate query).
+func (c *Ctx) Count(s *tuple.Schema, q gamma.Query) int {
+	n := 0
+	c.ForEach(s, q, func(*tuple.Tuple) bool { n++; return true })
+	return n
+}
+
+// GetMin returns the matching tuple with the smallest value of the named
+// column — `get min T(...)` (an aggregate query).
+func (c *Ctx) GetMin(s *tuple.Schema, q gamma.Query, col string) *tuple.Tuple {
+	var best *tuple.Tuple
+	c.ForEach(s, q, func(t *tuple.Tuple) bool {
+		if best == nil || tuple.Compare(t.Get(col), best.Get(col)) < 0 {
+			best = t
+		}
+		return true
+	})
+	return best
+}
+
+// SumInt sums an int column over the matching tuples (aggregate query).
+func (c *Ctx) SumInt(s *tuple.Schema, q gamma.Query, col string) int64 {
+	var sum int64
+	c.ForEach(s, q, func(t *tuple.Tuple) bool { sum += t.Int(col); return true })
+	return sum
+}
+
+// Println emits debugging/tracing output. As the paper notes (§6.2 fn 8),
+// println has side effects, so rule output within one parallel batch is
+// unordered; the kosher way to order output is to put Println-like tuples
+// and let the Delta ordering sequence them.
+func (c *Ctx) Println(args ...any) {
+	c.run.out.add(fmt.Sprintln(args...))
+}
+
+// Printf is Println's formatted sibling.
+func (c *Ctx) Printf(format string, args ...any) {
+	c.run.out.add(fmt.Sprintf(format, args...))
+}
+
+// GammaTable exposes the raw store of a table, for rules that use the
+// typed fast paths of custom data structures (native arrays, §6.4/§6.6) —
+// the analogue of generated Java code operating directly on int[][].
+func (c *Ctx) GammaTable(s *tuple.Schema) gamma.Store {
+	return c.run.gammaDB.Table(s)
+}
+
+// Pool returns the run's scheduling pool, or nil in sequential mode. Rules
+// use it for the §5.2 "additional parallelism": loops inside a rule with
+// independent bodies.
+func (c *Ctx) Pool() PoolRef { return c.run.pool }
+
+// Threads reports the run's degree of parallelism.
+func (c *Ctx) Threads() int { return c.run.Threads() }

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/jstar-lang/jstar/internal/delta"
+	"github.com/jstar-lang/jstar/internal/forkjoin"
+	"github.com/jstar-lang/jstar/internal/gamma"
+	"github.com/jstar-lang/jstar/internal/order"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// TableStats are per-table usage statistics recorded during a run — the
+// logging system of §1.5, used as the basis for choosing parallelisation
+// strategies.
+type TableStats struct {
+	Puts       atomic.Int64 // tuples put (before dedup)
+	Duplicates atomic.Int64 // puts discarded as duplicates
+	Triggers   atomic.Int64 // rule firings triggered by this table
+	Queries    atomic.Int64 // Gamma queries against this table
+}
+
+// RunStats aggregates statistics across a run.
+type RunStats struct {
+	Steps      int64 // execution steps (minimum-batch extractions)
+	MaxBatch   int   // largest parallel batch
+	TotalFired int64 // total rule firings
+	Elapsed    time.Duration
+	Tables     map[string]*TableStats
+	RuleNanos  map[string]*atomic.Int64 // cumulative body time per rule
+
+	// flowMu guards Flow, the observed dataflow edges rule -> table
+	// (tuples put by each rule into each table). Populated only under
+	// Options.TraceDataflow; this is the log the §1.5 visualiser renders
+	// as an annotated dependency graph.
+	flowMu sync.Mutex
+	Flow   map[[2]string]int64
+}
+
+// FlowEdges returns a copy of the observed rule->table put counts.
+func (s *RunStats) FlowEdges() map[[2]string]int64 {
+	s.flowMu.Lock()
+	defer s.flowMu.Unlock()
+	out := make(map[[2]string]int64, len(s.Flow))
+	for k, v := range s.Flow {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *RunStats) addFlow(rule, table string) {
+	s.flowMu.Lock()
+	if s.Flow == nil {
+		s.Flow = make(map[[2]string]int64)
+	}
+	s.Flow[[2]string{rule, table}]++
+	s.flowMu.Unlock()
+}
+
+// Run is one execution of a Program under a set of Options.
+type Run struct {
+	prog *Program
+	opts Options
+
+	delta   *delta.Tree
+	gammaDB *gamma.DB
+	pool    PoolRef
+	ownPool *forkjoin.Pool
+
+	noDelta map[*tuple.Schema]bool
+	noGamma map[*tuple.Schema]bool
+
+	out    outputBuffer
+	stats  RunStats
+	failMu chan struct{} // buffered(1); first rule panic wins
+	fail   atomic.Value  // error
+}
+
+// NewRun prepares (but does not start) a run.
+func (p *Program) NewRun(opts Options) (*Run, error) {
+	if err := p.Validate(opts); err != nil {
+		return nil, err
+	}
+	r := &Run{
+		prog:    p,
+		opts:    opts,
+		noDelta: make(map[*tuple.Schema]bool),
+		noGamma: make(map[*tuple.Schema]bool),
+		failMu:  make(chan struct{}, 1),
+	}
+	r.out.quiet = opts.Quiet
+	if opts.Sequential {
+		r.delta = delta.NewSequential(p.po)
+		r.gammaDB = gamma.NewDB(gamma.NewTreeStore)
+	} else {
+		r.delta = delta.NewConcurrent(p.po)
+		r.gammaDB = gamma.NewDB(gamma.NewSkipStore)
+	}
+	for t, f := range p.hints {
+		r.gammaDB.SetStore(t, f)
+	}
+	for _, t := range opts.NoDelta {
+		r.noDelta[p.tables[t]] = true
+	}
+	for _, t := range opts.NoGamma {
+		r.noGamma[p.tables[t]] = true
+	}
+	r.stats.Tables = make(map[string]*TableStats, len(p.tables))
+	r.stats.RuleNanos = make(map[string]*atomic.Int64, len(p.rules))
+	for name := range p.tables {
+		r.stats.Tables[name] = &TableStats{}
+	}
+	for _, rule := range p.rules {
+		if _, dup := r.stats.RuleNanos[rule.Name]; !dup {
+			r.stats.RuleNanos[rule.Name] = &atomic.Int64{}
+		}
+	}
+	if opts.Pool != nil {
+		r.pool = opts.Pool
+	} else if !opts.Sequential {
+		r.ownPool = forkjoin.NewPool(opts.threads())
+		r.pool = r.ownPool
+	}
+	return r, nil
+}
+
+// Execute runs the program to completion (empty Delta set) and returns the
+// first rule panic as an error, or a step-limit error.
+func (r *Run) Execute() error {
+	start := time.Now()
+	defer func() {
+		r.stats.Elapsed = time.Since(start)
+		if r.ownPool != nil {
+			r.ownPool.Shutdown()
+		}
+	}()
+	for _, t := range r.prog.initial {
+		r.put("put", nil, t)
+	}
+	return r.drain()
+}
+
+// ExecuteEvents is the event-driven execution mode (§3): external input
+// tuples arrive on events and are treated like any other tuple — they enter
+// the Delta set and trigger rules. Whenever the database quiesces, the run
+// blocks for the next event; it completes when the channel is closed and
+// the final quiescence is reached. Initial puts still run first.
+func (r *Run) ExecuteEvents(events <-chan *tuple.Tuple) error {
+	start := time.Now()
+	defer func() {
+		r.stats.Elapsed = time.Since(start)
+		if r.ownPool != nil {
+			r.ownPool.Shutdown()
+		}
+	}()
+	for _, t := range r.prog.initial {
+		r.put("put", nil, t)
+	}
+	for {
+		if err := r.drain(); err != nil {
+			return err
+		}
+		t, ok := <-events
+		if !ok {
+			return r.loadFail()
+		}
+		r.put("event", nil, t)
+		// Opportunistically absorb already-pending events so one step can
+		// batch simultaneous inputs.
+		for {
+			select {
+			case t, ok := <-events:
+				if !ok {
+					return r.drain()
+				}
+				r.put("event", nil, t)
+				continue
+			default:
+			}
+			break
+		}
+	}
+}
+
+// drain runs execution steps until the Delta set is empty.
+func (r *Run) drain() error {
+	for !r.delta.Empty() {
+		if err := r.loadFail(); err != nil {
+			return err
+		}
+		if r.opts.MaxSteps > 0 && r.stats.Steps >= r.opts.MaxSteps {
+			return fmt.Errorf("jstar: run aborted after %d steps (MaxSteps); program may not terminate", r.stats.Steps)
+		}
+		batch := r.delta.TakeMinBatch()
+		if len(batch) == 0 {
+			continue
+		}
+		r.stats.Steps++
+		if len(batch) > r.stats.MaxBatch {
+			r.stats.MaxBatch = len(batch)
+		}
+		r.step(batch)
+	}
+	return r.loadFail()
+}
+
+func (r *Run) loadFail() error {
+	if e := r.fail.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+func (r *Run) setFail(err error) {
+	select {
+	case r.failMu <- struct{}{}:
+		r.fail.Store(err)
+	default: // a failure is already recorded; first one wins
+	}
+}
+
+// step moves one causal equivalence class from Delta into Gamma and fires
+// the triggered rules — in parallel when the batch has more than one tuple
+// (the all-minimums strategy, §5).
+func (r *Run) step(batch []*tuple.Tuple) {
+	// Insert the whole batch into Gamma first: positive queries may see
+	// tuples with timestamps <= the trigger's, which includes batch-mates.
+	live := batch[:0]
+	for _, t := range batch {
+		s := t.Schema()
+		if r.noGamma[s] {
+			live = append(live, t)
+			continue
+		}
+		if r.gammaDB.Insert(t) {
+			live = append(live, t)
+		} else {
+			// Already processed in an earlier step: set semantics say the
+			// duplicate is discarded, so its rules do not re-fire.
+			r.tableStats(s).Duplicates.Add(1)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	// External actions (paper §3) run on the coordinator, in deterministic
+	// order within the batch, before the batch's rules fire.
+	if len(r.prog.actions) > 0 {
+		r.runActions(live)
+	}
+	if r.pool == nil || len(live) == 1 {
+		for _, t := range live {
+			r.fire(t)
+		}
+		return
+	}
+	r.pool.For(len(live), 1, func(i int) { r.fire(live[i]) })
+}
+
+// runActions performs registered external actions for the batch's tuples.
+// Tuples within one causal equivalence class are unordered, so actions sort
+// them by field values for reproducible side-effect order.
+func (r *Run) runActions(batch []*tuple.Tuple) {
+	var acted []*tuple.Tuple
+	for _, t := range batch {
+		if _, ok := r.prog.actions[t.Schema()]; ok {
+			acted = append(acted, t)
+		}
+	}
+	if len(acted) == 0 {
+		return
+	}
+	sort.Slice(acted, func(i, j int) bool {
+		if a, b := acted[i].Schema().Name, acted[j].Schema().Name; a != b {
+			return a < b
+		}
+		return acted[i].CompareFields(acted[j]) < 0
+	})
+	for _, t := range acted {
+		r.prog.actions[t.Schema()](r, t)
+	}
+}
+
+// fire runs every rule triggered by t.
+func (r *Run) fire(t *tuple.Tuple) {
+	rules := r.prog.trigger[t.Schema()]
+	if len(rules) == 0 {
+		return
+	}
+	st := r.tableStats(t.Schema())
+	for _, rule := range rules {
+		st.Triggers.Add(1)
+		atomic.AddInt64(&r.stats.TotalFired, 1)
+		r.invoke(rule, t)
+	}
+}
+
+func (r *Run) invoke(rule *Rule, t *tuple.Tuple) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.setFail(fmt.Errorf("jstar: rule %s on %v panicked: %v", rule.Name, t, p))
+		}
+	}()
+	ctx := &Ctx{run: r, rule: rule, trigger: t}
+	start := time.Now()
+	rule.Body(ctx, t)
+	if n := r.stats.RuleNanos[rule.Name]; n != nil {
+		n.Add(int64(time.Since(start)))
+	}
+}
+
+func (r *Run) tableStats(s *tuple.Schema) *TableStats {
+	return r.stats.Tables[s.Name]
+}
+
+// put implements the tuple creation path shared by initial puts and rule
+// puts. from is the trigger tuple of the producing rule, nil for initial
+// puts. Under -noDelta the tuple goes straight to Gamma and fires its rules
+// on the calling task.
+func (r *Run) put(ruleName string, from *tuple.Tuple, t *tuple.Tuple) {
+	s := t.Schema()
+	st := r.tableStats(s)
+	if st == nil {
+		panic(fmt.Sprintf("jstar: put of tuple from undeclared table %s", s.Name))
+	}
+	st.Puts.Add(1)
+	if r.opts.TraceDataflow {
+		r.stats.addFlow(ruleName, s.Name)
+	}
+	if r.opts.CheckCausality && from != nil {
+		kf := order.KeyOf(r.prog.po, from)
+		kt := order.KeyOf(r.prog.po, t)
+		if order.Compare(kt, kf) < 0 {
+			panic(fmt.Sprintf("jstar: causality violation: rule triggered by %v (key %v) put %v (key %v) into the past",
+				from, kf, t, kt))
+		}
+	}
+	if r.noDelta[s] {
+		if !r.noGamma[s] {
+			if !r.gammaDB.Insert(t) {
+				st.Duplicates.Add(1)
+				return
+			}
+		}
+		r.fire(t)
+		return
+	}
+	if !r.delta.Put(t) {
+		st.Duplicates.Add(1)
+	}
+}
+
+// Stats returns the run statistics (valid after Execute returns).
+func (r *Run) Stats() *RunStats { return &r.stats }
+
+// Program returns the program this run executes.
+func (r *Run) Program() *Program { return r.prog }
+
+// Output returns the Println lines produced so far. Within one parallel
+// batch the order is scheduling-dependent; across batches it follows the
+// causality ordering.
+func (r *Run) Output() []string { return r.out.snapshot() }
+
+// Gamma exposes the run's Gamma database for post-run inspection —
+// the program's result relation contents.
+func (r *Run) Gamma() *gamma.DB { return r.gammaDB }
+
+// DeltaLen reports how many tuples are still queued (0 after Execute).
+func (r *Run) DeltaLen() int { return r.delta.Len() }
+
+// Threads reports the degree of parallelism used by the run.
+func (r *Run) Threads() int {
+	if r.pool == nil {
+		return 1
+	}
+	return r.pool.Size()
+}
+
+// Execute is the one-call convenience: build a run, execute it, return it.
+func (p *Program) Execute(opts Options) (*Run, error) {
+	r, err := p.NewRun(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Execute(); err != nil {
+		return r, err
+	}
+	return r, nil
+}

@@ -1,0 +1,350 @@
+// Package delta implements the Delta set — the temporary area where newly
+// put tuples await processing (paper §3, §5, Fig 3).
+//
+// The Delta set is organised as a single tree containing tuples from many
+// tables, sorted lexicographically by the orderby lists of those tables:
+// level i of the tree is sorted by the ith entries of the orderby lists.
+// A literal level is ordered by the program's `order` declarations, a
+// `seq f` level by the value of field f, and a `par f` level is unordered
+// (its whole subtree is one parallel equivalence class). The leaves hold
+// sets of tuples that are all equivalent under the causality ordering, so
+// they can be executed in parallel ("all-minimums" strategy).
+//
+// The tree doubles as a multi-level priority queue with duplicate
+// elimination — a plain priority queue is not sufficient because duplicate
+// tuples must be discarded on insert (paper footnote 5).
+//
+// Concurrency contract: Put may be called from many goroutines at once
+// (rule tasks inserting future tuples), but TakeMinBatch is only called by
+// the engine coordinator between execution steps, with no concurrent Puts.
+// This mirrors the paper's execution loop, where a step's tasks all complete
+// before the next minimum batch is extracted.
+package delta
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/jstar-lang/jstar/internal/llrb"
+	"github.com/jstar-lang/jstar/internal/order"
+	"github.com/jstar-lang/jstar/internal/skiplist"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// childMap stores the ordered children of an interior Delta-tree node,
+// keyed by the resolved orderby component at that level (literal rank as an
+// int Value, or the tuple's field value).
+type childMap interface {
+	getOrCreate(key tuple.Value, mk func() *node) *node
+	min() (tuple.Value, *node, bool)
+	remove(key tuple.Value) bool
+	size() int
+	each(fn func(tuple.Value, *node) bool)
+}
+
+// seqChildMap is the sequential implementation (Java TreeMap analogue).
+type seqChildMap struct {
+	t *llrb.Tree[childEntry]
+}
+
+type childEntry struct {
+	key tuple.Value
+	nd  *node
+}
+
+func newSeqChildMap() childMap {
+	return &seqChildMap{t: llrb.New(func(a, b childEntry) int { return tuple.Compare(a.key, b.key) })}
+}
+
+func (m *seqChildMap) getOrCreate(key tuple.Value, mk func() *node) *node {
+	if e, ok := m.t.GetEqual(childEntry{key: key}); ok {
+		return e.nd
+	}
+	nd := mk()
+	m.t.Insert(childEntry{key: key, nd: nd})
+	return nd
+}
+
+func (m *seqChildMap) min() (tuple.Value, *node, bool) {
+	e, ok := m.t.Min()
+	return e.key, e.nd, ok
+}
+
+func (m *seqChildMap) remove(key tuple.Value) bool { return m.t.Delete(childEntry{key: key}) }
+func (m *seqChildMap) size() int                   { return m.t.Len() }
+
+func (m *seqChildMap) each(fn func(tuple.Value, *node) bool) {
+	m.t.Ascend(func(e childEntry) bool { return fn(e.key, e.nd) })
+}
+
+// concChildMap is the parallel implementation (ConcurrentSkipListMap
+// analogue). Puts from many rule tasks race on it safely.
+type concChildMap struct {
+	m *skiplist.Map[tuple.Value, *node]
+}
+
+func newConcChildMap() childMap {
+	return &concChildMap{m: skiplist.NewMap[tuple.Value, *node](tuple.Compare)}
+}
+
+func (m *concChildMap) getOrCreate(key tuple.Value, mk func() *node) *node {
+	return m.m.GetOrCreate(key, mk)
+}
+
+func (m *concChildMap) min() (tuple.Value, *node, bool) { return m.m.Min() }
+func (m *concChildMap) remove(key tuple.Value) bool     { return m.m.Delete(key) }
+func (m *concChildMap) size() int                       { return m.m.Len() }
+
+func (m *concChildMap) each(fn func(tuple.Value, *node) bool) {
+	m.m.Ascend(fn)
+}
+
+// leafSet is a deduplicating set of tuples that end at one tree node — one
+// causal equivalence class. A single mutex per leaf is intentional: threads
+// inserting into the same branch contend here, which is exactly the Delta
+// tree scalability limit the paper observes on Dijkstra (§6.5).
+type leafSet struct {
+	mu sync.Mutex
+	m  map[uint64][]*tuple.Tuple
+	n  int
+}
+
+// add inserts t if not already present; reports whether added.
+func (l *leafSet) add(t *tuple.Tuple) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.m == nil {
+		l.m = make(map[uint64][]*tuple.Tuple)
+	}
+	h := t.Hash()
+	for _, e := range l.m[h] {
+		if e.Equal(t) {
+			return false
+		}
+	}
+	l.m[h] = append(l.m[h], t)
+	l.n++
+	return true
+}
+
+// drain removes and returns all tuples.
+func (l *leafSet) drain(buf []*tuple.Tuple) []*tuple.Tuple {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, bucket := range l.m {
+		buf = append(buf, bucket...)
+	}
+	l.m = nil
+	l.n = 0
+	return buf
+}
+
+func (l *leafSet) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// node is one Delta-tree node: tuples whose orderby list ends here, plus
+// ordered children for tuples that continue to deeper levels.
+type node struct {
+	leaf leafSet
+
+	childInit sync.Once
+	children  childMap
+	childKind tuple.OrderKind // kind of the level below; fixed at first use
+}
+
+// Tree is the Delta set. Create with NewSequential or NewConcurrent.
+type Tree struct {
+	po         *order.PartialOrder
+	root       *node
+	size       atomic.Int64
+	dups       atomic.Int64 // duplicates discarded (usage statistics, §1.5)
+	concurrent bool
+	newMap     func() childMap
+}
+
+// NewSequential returns a Delta tree backed by red-black trees, matching the
+// -sequential code generator's TreeMap choice.
+func NewSequential(po *order.PartialOrder) *Tree {
+	return &Tree{po: po, root: &node{}, newMap: newSeqChildMap}
+}
+
+// NewConcurrent returns a Delta tree backed by concurrent skip lists,
+// matching the parallel code generator's ConcurrentSkipListMap choice.
+func NewConcurrent(po *order.PartialOrder) *Tree {
+	return &Tree{po: po, root: &node{}, concurrent: true, newMap: newConcChildMap}
+}
+
+// Concurrent reports which backend the tree uses.
+func (tr *Tree) Concurrent() bool { return tr.concurrent }
+
+// Len returns the number of queued tuples.
+func (tr *Tree) Len() int { return int(tr.size.Load()) }
+
+// Empty reports whether no tuples are queued.
+func (tr *Tree) Empty() bool { return tr.size.Load() == 0 }
+
+// Duplicates returns how many inserts were discarded as duplicates.
+func (tr *Tree) Duplicates() int64 { return tr.dups.Load() }
+
+// Put inserts t, returning false if an equal tuple was already queued.
+// Safe for concurrent use.
+func (tr *Tree) Put(t *tuple.Tuple) bool {
+	s := t.Schema()
+	n := tr.root
+	for i, e := range s.OrderBy {
+		var key tuple.Value
+		var kind tuple.OrderKind
+		switch e.Kind {
+		case tuple.OrderLit:
+			key = tuple.Int(int64(tr.po.Rank(e.Lit)))
+			kind = tuple.OrderLit
+		case tuple.OrderSeq:
+			key = t.Field(s.OrderByColumn(i))
+			kind = tuple.OrderSeq
+		case tuple.OrderPar:
+			key = t.Field(s.OrderByColumn(i))
+			kind = tuple.OrderPar
+		}
+		n.childInit.Do(func() {
+			n.children = tr.newMap()
+			n.childKind = kind
+		})
+		if n.childKind != kind {
+			panic(fmt.Sprintf("jstar: table %s orderby entry %d (%v) conflicts with sibling tables at the same Delta-tree level (%v)",
+				s.Name, i, kind, n.childKind))
+		}
+		n = n.children.getOrCreate(key, func() *node { return &node{} })
+	}
+	if !n.leaf.add(t) {
+		tr.dups.Add(1)
+		return false
+	}
+	tr.size.Add(1)
+	return true
+}
+
+// TakeMinBatch removes and returns the minimal causal equivalence class:
+// all tuples that may execute in parallel at this step. It returns nil when
+// the tree is empty. Must not race with Put (see the package contract).
+func (tr *Tree) TakeMinBatch() []*tuple.Tuple {
+	if tr.Empty() {
+		return nil
+	}
+	batch := tr.takeMin(tr.root, nil)
+	tr.size.Add(int64(-len(batch)))
+	return batch
+}
+
+func (tr *Tree) takeMin(n *node, buf []*tuple.Tuple) []*tuple.Tuple {
+	// Tuples ending at this node come before anything deeper.
+	if n.leaf.count() > 0 {
+		return n.leaf.drain(buf)
+	}
+	if n.children == nil {
+		return buf
+	}
+	if n.childKind == tuple.OrderPar {
+		// A par level is one equivalence class: drain the entire subtree.
+		return tr.drainAll(n, buf)
+	}
+	for {
+		key, child, ok := n.children.min()
+		if !ok {
+			return buf
+		}
+		got := tr.takeMin(child, buf)
+		if empty(child) {
+			n.children.remove(key)
+		}
+		if len(got) > len(buf) {
+			return got
+		}
+		// Child was empty shell (already drained); removed above, retry.
+		buf = got
+	}
+}
+
+// drainAll removes every tuple in the subtree rooted at n.
+func (tr *Tree) drainAll(n *node, buf []*tuple.Tuple) []*tuple.Tuple {
+	buf = n.leaf.drain(buf)
+	if n.children == nil {
+		return buf
+	}
+	var keys []tuple.Value
+	n.children.each(func(k tuple.Value, child *node) bool {
+		buf = tr.drainAll(child, buf)
+		keys = append(keys, k)
+		return true
+	})
+	for _, k := range keys {
+		n.children.remove(k)
+	}
+	return buf
+}
+
+func empty(n *node) bool {
+	if n.leaf.count() > 0 {
+		return false
+	}
+	return n.children == nil || n.children.size() == 0
+}
+
+// PeekMinKey returns the causal key of the current minimal class, for
+// logging and visualisation. It returns false when empty.
+func (tr *Tree) PeekMinKey() (order.Key, bool) {
+	var comps []order.Component
+	n := tr.root
+	for {
+		if n.leaf.count() > 0 || n.children == nil {
+			break
+		}
+		key, child, ok := n.children.min()
+		if !ok {
+			break
+		}
+		switch n.childKind {
+		case tuple.OrderLit:
+			comps = append(comps, order.Component{Kind: tuple.OrderLit, Rank: int(key.AsInt())})
+		default:
+			comps = append(comps, order.Component{Kind: n.childKind, Val: key})
+		}
+		n = child
+	}
+	if len(comps) == 0 && tr.Empty() {
+		return order.Key{}, false
+	}
+	return order.Key{Components: comps}, true
+}
+
+// Walk visits every queued tuple (weakly consistent under concurrent Puts);
+// used by the graph visualiser.
+func (tr *Tree) Walk(fn func(t *tuple.Tuple) bool) {
+	tr.walk(tr.root, fn)
+}
+
+func (tr *Tree) walk(n *node, fn func(t *tuple.Tuple) bool) bool {
+	n.leaf.mu.Lock()
+	var snapshot []*tuple.Tuple
+	for _, b := range n.leaf.m {
+		snapshot = append(snapshot, b...)
+	}
+	n.leaf.mu.Unlock()
+	for _, t := range snapshot {
+		if !fn(t) {
+			return false
+		}
+	}
+	if n.children == nil {
+		return true
+	}
+	ok := true
+	n.children.each(func(_ tuple.Value, child *node) bool {
+		ok = tr.walk(child, fn)
+		return ok
+	})
+	return ok
+}

@@ -1,0 +1,255 @@
+// Package disruptor implements a Disruptor-style ring buffer — the data
+// transfer substrate of the §6.3 PvWatts redesign. It reproduces the LMAX
+// Disruptor mechanics the paper tunes in Table 1: a pre-allocated power-of-
+// two ring, a single producer claiming slots in batches, multiple consumers
+// each with their own sequence, pluggable wait strategies (blocking,
+// yielding, busy-spin), and cache-line-padded sequences to avoid false
+// sharing. Object slots are recycled rather than garbage collected.
+package disruptor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sequence is a cache-line padded monotonic counter. The padding keeps each
+// consumer's sequence on its own cache line — the "carefully designed to
+// reduce cache line contention" property of the original.
+type Sequence struct {
+	_ [7]int64
+	v atomic.Int64
+	_ [7]int64
+}
+
+// Load returns the current value.
+func (s *Sequence) Load() int64 { return s.v.Load() }
+
+// Store sets the value.
+func (s *Sequence) Store(x int64) { s.v.Store(x) }
+
+// WaitStrategy controls how a goroutine waits for a sequence to advance.
+type WaitStrategy interface {
+	// WaitFor blocks until load() >= target, returning the observed value.
+	WaitFor(target int64, load func() int64) int64
+	// Signal wakes blocked waiters after a sequence advances.
+	Signal()
+	// Name is the strategy's display name for Table-1 style reports.
+	Name() string
+}
+
+// BlockingWait parks waiters on a condition variable: lowest CPU use,
+// highest wake-up latency. The paper's best PvWatts setting.
+type BlockingWait struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	once sync.Once
+}
+
+func (w *BlockingWait) init() { w.cond = sync.NewCond(&w.mu) }
+
+// WaitFor implements WaitStrategy.
+func (w *BlockingWait) WaitFor(target int64, load func() int64) int64 {
+	if v := load(); v >= target {
+		return v
+	}
+	w.once.Do(w.init)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if v := load(); v >= target {
+			return v
+		}
+		w.cond.Wait()
+	}
+}
+
+// Signal implements WaitStrategy.
+func (w *BlockingWait) Signal() {
+	w.once.Do(w.init)
+	w.mu.Lock()
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Name implements WaitStrategy.
+func (w *BlockingWait) Name() string { return "BlockingWaitStrategy" }
+
+// YieldingWait spins, yielding the processor between checks.
+type YieldingWait struct{}
+
+// WaitFor implements WaitStrategy.
+func (YieldingWait) WaitFor(target int64, load func() int64) int64 {
+	for {
+		if v := load(); v >= target {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// Signal implements WaitStrategy.
+func (YieldingWait) Signal() {}
+
+// Name implements WaitStrategy.
+func (YieldingWait) Name() string { return "YieldingWaitStrategy" }
+
+// BusySpinWait spins without yielding: lowest latency, burns a core.
+type BusySpinWait struct{}
+
+// WaitFor implements WaitStrategy.
+func (BusySpinWait) WaitFor(target int64, load func() int64) int64 {
+	for i := 0; ; i++ {
+		if v := load(); v >= target {
+			return v
+		}
+		if i%1024 == 1023 {
+			// Safety valve so GOMAXPROCS=1 tests cannot livelock.
+			runtime.Gosched()
+		}
+	}
+}
+
+// Signal implements WaitStrategy.
+func (BusySpinWait) Signal() {}
+
+// Name implements WaitStrategy.
+func (BusySpinWait) Name() string { return "BusySpinWaitStrategy" }
+
+// Ring is a single-producer multi-consumer ring buffer of T.
+type Ring[T any] struct {
+	buf    []T
+	mask   int64
+	cursor Sequence // highest published sequence; -1 initially
+	gating []*Sequence
+	wait   WaitStrategy
+	closed atomic.Bool
+}
+
+// NewRing allocates a ring with the given power-of-two size.
+func NewRing[T any](size int, wait WaitStrategy) *Ring[T] {
+	if size <= 0 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("disruptor: ring size %d is not a power of two", size))
+	}
+	r := &Ring[T]{buf: make([]T, size), mask: int64(size - 1), wait: wait}
+	r.cursor.Store(-1)
+	return r
+}
+
+// Size returns the ring capacity.
+func (r *Ring[T]) Size() int { return len(r.buf) }
+
+// Consumer reads every published event, tracked by its own sequence.
+type Consumer[T any] struct {
+	ring *Ring[T]
+	seq  Sequence
+}
+
+// NewConsumer registers a consumer. All consumers must be registered before
+// the producer publishes the first event.
+func (r *Ring[T]) NewConsumer() *Consumer[T] {
+	c := &Consumer[T]{ring: r}
+	c.seq.Store(-1)
+	r.gating = append(r.gating, &c.seq)
+	return c
+}
+
+func (r *Ring[T]) minGating() int64 {
+	min := int64(1<<62 - 1)
+	for _, s := range r.gating {
+		if v := s.Load(); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Producer claims ring slots for a single publishing goroutine. claimBatch
+// slots are claimed from the gating check at a time (Table 1's "claim slots
+// in a batch of 256"), amortising the consumer-sequence scan.
+type Producer[T any] struct {
+	ring       *Ring[T]
+	next       int64 // next sequence to publish
+	claimedHi  int64 // highest claimed sequence
+	claimBatch int64
+}
+
+// NewProducer returns the ring's single producer. Only one producer may
+// exist per ring (SingleThreadedClaimStrategy).
+func (r *Ring[T]) NewProducer(claimBatch int) *Producer[T] {
+	if claimBatch < 1 {
+		claimBatch = 1
+	}
+	if claimBatch > len(r.buf) {
+		// Claiming past one full ring revolution can never be granted:
+		// the gated slots include ones this producer has yet to publish.
+		claimBatch = len(r.buf)
+	}
+	return &Producer[T]{ring: r, next: 0, claimedHi: -1, claimBatch: int64(claimBatch)}
+}
+
+// Publish writes one event into the next slot via fill and makes it visible
+// to consumers. It blocks while the ring is full (a slow consumer gates the
+// producer — the paper's bottleneck discussion for skewed inputs).
+func (p *Producer[T]) Publish(fill func(slot *T)) {
+	r := p.ring
+	if p.next > p.claimedHi {
+		// Claim a fresh batch: the slot p.next+claimBatch-1 wraps over
+		// sequence p.next+claimBatch-1-size, which consumers must have passed.
+		hi := p.next + p.claimBatch - 1
+		wrap := hi - int64(len(r.buf))
+		if wrap >= 0 {
+			r.wait.WaitFor(wrap, r.minGating)
+		}
+		p.claimedHi = hi
+	}
+	fill(&r.buf[p.next&r.mask])
+	r.cursor.Store(p.next)
+	p.next++
+	r.wait.Signal()
+}
+
+// Consume processes all events published but not yet seen by this consumer,
+// calling handle for each; it blocks until at least one event is available.
+// It returns false if handle returned false (consumer shutdown), else true.
+func (c *Consumer[T]) Consume(handle func(seq int64, v *T) bool) bool {
+	r := c.ring
+	next := c.seq.Load() + 1
+	avail := r.wait.WaitFor(next, r.cursor.Load)
+	for s := next; s <= avail; s++ {
+		ok := handle(s, &r.buf[s&r.mask])
+		c.seq.Store(s)
+		if !ok {
+			r.wait.Signal()
+			return false
+		}
+	}
+	r.wait.Signal() // unblock a producer gated on our sequence
+	return true
+}
+
+// Run consumes until handle returns false (e.g. on a sentinel event).
+func (c *Consumer[T]) Run(handle func(seq int64, v *T) bool) {
+	for c.Consume(handle) {
+	}
+}
+
+// Options mirror the Table 1 tuning parameters.
+type Options struct {
+	RingSize   int          // "Size of Ring Buffer", default 1024
+	ClaimBatch int          // "Claim slots in a batch of 256"
+	Consumers  int          // "Total number of Consumer", default 12
+	Wait       WaitStrategy // "Wait Strategy", default BlockingWait
+}
+
+// Defaults returns the paper's best PvWatts settings (Table 1).
+func Defaults() Options {
+	return Options{RingSize: 1024, ClaimBatch: 256, Consumers: 12, Wait: &BlockingWait{}}
+}
+
+// String renders the options like Table 1.
+func (o Options) String() string {
+	return fmt.Sprintf("ring=%d batch=%d consumers=%d wait=%s",
+		o.RingSize, o.ClaimBatch, o.Consumers, o.Wait.Name())
+}

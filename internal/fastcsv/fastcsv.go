@@ -1,0 +1,162 @@
+// Package fastcsv is JStar's CSV reading library (§6.1): it keeps lines as
+// byte slices and avoids conversion to strings as much as possible — the
+// reason the JStar PvWatts program beats the BufferedReader.readLine +
+// String.split Java baseline.
+//
+// It also provides the parallel split reader used for PvWatts speedup
+// (§6.2): N readers each take a byte region of the input; a reader skips
+// the (partial) first line of its region and continues reading a little way
+// past the end, so every record is read exactly once. The same strategy is
+// used by Hadoop input readers.
+package fastcsv
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Record is one parsed CSV line: field byte slices aliasing the input
+// buffer. Fields are only valid until the caller releases the input.
+type Record struct {
+	Fields [][]byte
+}
+
+// Int parses field i as a decimal integer without allocating.
+func (r *Record) Int(i int) (int64, error) {
+	return ParseInt(r.Fields[i])
+}
+
+// ParseInt parses a decimal int64 from b without allocation.
+func ParseInt(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("fastcsv: empty int field")
+	}
+	neg := false
+	i := 0
+	if b[0] == '-' || b[0] == '+' {
+		neg = b[0] == '-'
+		i++
+		if i == len(b) {
+			return 0, fmt.Errorf("fastcsv: bare sign")
+		}
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("fastcsv: bad digit %q in %q", c, b)
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// ScanLines splits buf into newline-terminated lines (handling a final
+// unterminated line and \r\n), calling fn with each non-empty line.
+func ScanLines(buf []byte, fn func(line []byte) error) error {
+	for len(buf) > 0 {
+		nl := bytes.IndexByte(buf, '\n')
+		var line []byte
+		if nl < 0 {
+			line, buf = buf, nil
+		} else {
+			line, buf = buf[:nl], buf[nl+1:]
+		}
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SplitFields splits a line on commas into the reusable fields slice
+// (no quoting support: PVWatts exports are plain numeric CSV).
+func SplitFields(line []byte, fields [][]byte) [][]byte {
+	fields = fields[:0]
+	for {
+		c := bytes.IndexByte(line, ',')
+		if c < 0 {
+			return append(fields, line)
+		}
+		fields = append(fields, line[:c])
+		line = line[c+1:]
+	}
+}
+
+// Region is one parallel reader's byte range within the input.
+type Region struct {
+	Start, End int // reader processes records *starting* in [Start, End)
+}
+
+// Regions splits n bytes into k balanced regions.
+func Regions(n, k int) []Region {
+	if k < 1 {
+		k = 1
+	}
+	if k > n && n > 0 {
+		k = n
+	}
+	out := make([]Region, 0, k)
+	chunk := n / k
+	start := 0
+	for i := 0; i < k; i++ {
+		end := start + chunk
+		if i == k-1 {
+			end = n
+		}
+		out = append(out, Region{Start: start, End: end})
+		start = end
+	}
+	return out
+}
+
+// ReadRegion parses every record whose first byte lies in the region,
+// reading past End to finish the last record (the Hadoop-style rule). A
+// region not starting at 0 first skips the partial line that began in the
+// previous region. fn receives a reused *Record; it must copy what it keeps.
+func ReadRegion(buf []byte, reg Region, fn func(rec *Record) error) error {
+	pos := reg.Start
+	if pos > 0 {
+		// Skip the line straddling the boundary; its owner is the previous
+		// region. Searching from Start-1 keeps a record that begins exactly
+		// at Start: if buf[Start-1] is the previous record's newline, the
+		// scan lands back on Start.
+		nl := bytes.IndexByte(buf[pos-1:], '\n')
+		if nl < 0 {
+			return nil // region is inside the final line
+		}
+		pos += nl
+	}
+	rec := &Record{}
+	for pos < reg.End && pos < len(buf) {
+		nl := bytes.IndexByte(buf[pos:], '\n')
+		var line []byte
+		if nl < 0 {
+			line = buf[pos:]
+			pos = len(buf)
+		} else {
+			line = buf[pos : pos+nl]
+			pos += nl + 1
+		}
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 {
+			continue
+		}
+		rec.Fields = SplitFields(line, rec.Fields)
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

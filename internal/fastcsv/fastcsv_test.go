@@ -1,0 +1,202 @@
+package fastcsv
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseInt(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"123", 123, false},
+		{"-45", -45, false},
+		{"+7", 7, false},
+		{"", 0, true},
+		{"-", 0, true},
+		{"12a", 0, true},
+		{"9223372036854775807", 9223372036854775807, false},
+	}
+	for _, c := range cases {
+		got, err := ParseInt([]byte(c.in))
+		if (err != nil) != c.err {
+			t.Errorf("ParseInt(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseInt(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseIntQuickAgainstSprintf(t *testing.T) {
+	f := func(v int64) bool {
+		got, err := ParseInt([]byte(fmt.Sprintf("%d", v)))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanLines(t *testing.T) {
+	input := []byte("a,b\r\nc,d\n\ne,f") // CRLF, blank line, no final newline
+	var lines []string
+	err := ScanLines(input, func(line []byte) error {
+		lines = append(lines, string(line))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a,b", "c,d", "e,f"}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %q", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("lines = %q, want %q", lines, want)
+		}
+	}
+}
+
+func TestScanLinesErrorPropagates(t *testing.T) {
+	sentinel := fmt.Errorf("stop")
+	err := ScanLines([]byte("a\nb\n"), func([]byte) error { return sentinel })
+	if err != sentinel {
+		t.Error("error must propagate")
+	}
+}
+
+func TestSplitFields(t *testing.T) {
+	fields := SplitFields([]byte("2000,1,2,06,150"), nil)
+	if len(fields) != 5 || string(fields[0]) != "2000" || string(fields[4]) != "150" {
+		t.Errorf("fields = %q", fields)
+	}
+	fields = SplitFields([]byte("solo"), fields)
+	if len(fields) != 1 || string(fields[0]) != "solo" {
+		t.Errorf("single field = %q", fields)
+	}
+	fields = SplitFields([]byte("a,,b"), fields)
+	if len(fields) != 3 || len(fields[1]) != 0 {
+		t.Errorf("empty middle field = %q", fields)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	regs := Regions(100, 4)
+	if len(regs) != 4 || regs[0].Start != 0 || regs[3].End != 100 {
+		t.Fatalf("regions = %+v", regs)
+	}
+	for i := 1; i < len(regs); i++ {
+		if regs[i].Start != regs[i-1].End {
+			t.Fatal("regions must tile the input")
+		}
+	}
+	if len(Regions(3, 10)) != 3 {
+		t.Error("more regions than bytes must clamp")
+	}
+	if len(Regions(10, 0)) != 1 {
+		t.Error("zero readers clamps to 1")
+	}
+}
+
+// buildCSV makes n numbered lines of varying width.
+func buildCSV(n int) []byte {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d,%d\n", i, i*i%977)
+	}
+	return b.Bytes()
+}
+
+func TestReadRegionExactlyOnce(t *testing.T) {
+	// The Hadoop-style rule: across any region split, every record is read
+	// exactly once, by the region containing its first byte.
+	buf := buildCSV(1000)
+	for _, k := range []int{1, 2, 3, 7, 16} {
+		seen := make([]int, 1000)
+		for _, reg := range Regions(len(buf), k) {
+			err := ReadRegion(buf, reg, func(rec *Record) error {
+				id, err := rec.Int(0)
+				if err != nil {
+					return err
+				}
+				seen[id]++
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("k=%d: record %d read %d times", k, id, c)
+			}
+		}
+	}
+}
+
+func TestReadRegionQuickProperty(t *testing.T) {
+	// Property: for random record counts and region counts, total records
+	// read equals the number of lines.
+	f := func(nLines uint8, k uint8) bool {
+		n := int(nLines)%200 + 1
+		buf := buildCSV(n)
+		total := 0
+		for _, reg := range Regions(len(buf), int(k)%8+1) {
+			ReadRegion(buf, reg, func(*Record) error { total++; return nil })
+		}
+		return total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRegionBoundaryInsideFinalLine(t *testing.T) {
+	buf := []byte("1,2\n3,4") // final line unterminated
+	var got []int64
+	for _, reg := range Regions(len(buf), 3) {
+		ReadRegion(buf, reg, func(rec *Record) error {
+			v, _ := rec.Int(0)
+			got = append(got, v)
+			return nil
+		})
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestReadRegionCRLF(t *testing.T) {
+	buf := []byte("1,2\r\n3,4\r\n")
+	n := 0
+	ReadRegion(buf, Region{0, len(buf)}, func(rec *Record) error {
+		if _, err := rec.Int(1); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if n != 2 {
+		t.Errorf("read %d records", n)
+	}
+}
+
+func BenchmarkReadRegion(b *testing.B) {
+	buf := buildCSV(100000)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReadRegion(buf, Region{0, len(buf)}, func(rec *Record) error {
+			_, err := rec.Int(1)
+			return err
+		})
+	}
+}

@@ -1,0 +1,444 @@
+// Package gamma implements the Gamma database — the main store that
+// (conceptually) holds every tuple a JStar program has generated (paper §3,
+// Fig 3). Gamma contains a separate data structure per table.
+//
+// The default store is a NavigableSet ordered by all fields (TreeSet when
+// generating sequential code, ConcurrentSkipListSet for parallel code), so
+// queries over any ordered subset of the tuples traverse only that subset.
+// Programs can override the choice per table — the paper does this manually
+// by overriding a factory method; here it is a per-table StoreFactory —
+// with a hash index, an array-of-hashsets, a dense native array, or a
+// rolling two-iteration array (the §6.6 garbage-collection optimisation).
+package gamma
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/jstar-lang/jstar/internal/llrb"
+	"github.com/jstar-lang/jstar/internal/skiplist"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// Query selects tuples of one table: equality on a prefix of the columns
+// plus an optional residual predicate (the boolean lambda part of a JStar
+// query, e.g. `get Done(v, [distance < d])`).
+type Query struct {
+	// Prefix holds equality constraints on columns 0..len(Prefix)-1.
+	Prefix []tuple.Value
+	// Where, if non-nil, filters the remaining candidates.
+	Where func(*tuple.Tuple) bool
+}
+
+// Matches reports whether t satisfies the query.
+func (q Query) Matches(t *tuple.Tuple) bool {
+	for i, v := range q.Prefix {
+		if !t.Field(i).Equal(v) {
+			return false
+		}
+	}
+	return q.Where == nil || q.Where(t)
+}
+
+// Store is one table's storage in the Gamma database. Insert may be called
+// concurrently by parallel rule tasks; Select and Scan may run concurrently
+// with Insert (weakly consistent, like the Java concurrent collections).
+type Store interface {
+	// Insert adds t, returning false if an equal tuple was already stored
+	// (set-oriented semantics).
+	Insert(t *tuple.Tuple) bool
+	// Len returns the number of stored tuples.
+	Len() int
+	// Select visits the tuples matching q until fn returns false.
+	Select(q Query, fn func(*tuple.Tuple) bool)
+	// Scan visits every tuple until fn returns false.
+	Scan(fn func(*tuple.Tuple) bool)
+}
+
+// StoreFactory builds a store for a schema; the per-table compiler hint.
+type StoreFactory func(s *tuple.Schema) Store
+
+// --- Default NavigableSet store -------------------------------------------
+
+// navSeqStore is the sequential default (TreeSet analogue).
+type navSeqStore struct {
+	mu sync.RWMutex // sequential programs never contend; cheap insurance
+	t  *llrb.Tree[*tuple.Tuple]
+}
+
+// NewTreeStore returns the sequential NavigableSet store for s.
+func NewTreeStore(s *tuple.Schema) Store {
+	return &navSeqStore{t: llrb.New(func(a, b *tuple.Tuple) int { return a.CompareFields(b) })}
+}
+
+func (st *navSeqStore) Insert(t *tuple.Tuple) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.t.Insert(t)
+}
+
+func (st *navSeqStore) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.t.Len()
+}
+
+func (st *navSeqStore) Scan(fn func(*tuple.Tuple) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	st.t.Ascend(fn)
+}
+
+func (st *navSeqStore) Select(q Query, fn func(*tuple.Tuple) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if len(q.Prefix) == 0 {
+		st.t.Ascend(func(t *tuple.Tuple) bool {
+			if q.Matches(t) {
+				return fn(t)
+			}
+			return true
+		})
+		return
+	}
+	probe := prefixProbe(q.Prefix)
+	st.t.AscendFrom(probe, func(t *tuple.Tuple) bool {
+		if !hasPrefix(t, q.Prefix) {
+			return false // left the prefix range; ordered store ends scan
+		}
+		if q.Where == nil || q.Where(t) {
+			return fn(t)
+		}
+		return true
+	})
+}
+
+// navConcStore is the parallel default (ConcurrentSkipListSet analogue).
+type navConcStore struct {
+	l *skiplist.List[*tuple.Tuple]
+}
+
+// NewSkipStore returns the concurrent NavigableSet store for s.
+func NewSkipStore(s *tuple.Schema) Store {
+	return &navConcStore{l: skiplist.New(func(a, b *tuple.Tuple) int { return a.CompareFields(b) })}
+}
+
+func (st *navConcStore) Insert(t *tuple.Tuple) bool { return st.l.Insert(t) }
+func (st *navConcStore) Len() int                   { return st.l.Len() }
+func (st *navConcStore) Scan(fn func(*tuple.Tuple) bool) {
+	st.l.Ascend(fn)
+}
+
+func (st *navConcStore) Select(q Query, fn func(*tuple.Tuple) bool) {
+	if len(q.Prefix) == 0 {
+		st.l.Ascend(func(t *tuple.Tuple) bool {
+			if q.Matches(t) {
+				return fn(t)
+			}
+			return true
+		})
+		return
+	}
+	probe := prefixProbe(q.Prefix)
+	st.l.AscendFrom(probe, func(t *tuple.Tuple) bool {
+		if !hasPrefix(t, q.Prefix) {
+			return false
+		}
+		if q.Where == nil || q.Where(t) {
+			return fn(t)
+		}
+		return true
+	})
+}
+
+// prefixProbe builds a pseudo-tuple that sorts before every real tuple with
+// the given prefix: trailing fields are invalid Values, which Compare orders
+// before all valid values. The probe deliberately bypasses schema checks.
+func prefixProbe(prefix []tuple.Value) *tuple.Tuple {
+	return tuple.NewRaw(prefix)
+}
+
+func hasPrefix(t *tuple.Tuple, prefix []tuple.Value) bool {
+	for i, v := range prefix {
+		if !t.Field(i).Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Hash index store ------------------------------------------------------
+
+// hashStore indexes tuples by a hash of their first k columns, sharded to
+// keep parallel inserts cheap. Queries whose prefix length >= k hit one
+// bucket; other queries fall back to a full scan (the paper's point about
+// choosing structures per observed query shape, §1.4).
+type hashStore struct {
+	k      int
+	shards [hashShards]hashShard
+}
+
+type hashShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]*tuple.Tuple
+	n  int
+}
+
+const hashShards = 64
+
+// NewHashStore returns a store hashing on the first k columns of s.
+func NewHashStore(k int) StoreFactory {
+	return func(s *tuple.Schema) Store {
+		if k < 1 || k > s.Arity() {
+			panic(fmt.Sprintf("jstar: hash store on %s: k=%d out of range", s.Name, k))
+		}
+		return &hashStore{k: k}
+	}
+}
+
+func keyHash(vals []tuple.Value) uint64 {
+	h := tuple.HashSeed
+	for _, v := range vals {
+		h = v.Hash(h)
+	}
+	return h
+}
+
+func (st *hashStore) keyOf(t *tuple.Tuple) uint64 {
+	h := tuple.HashSeed
+	for i := 0; i < st.k; i++ {
+		h = t.Field(i).Hash(h)
+	}
+	return h
+}
+
+func (st *hashStore) Insert(t *tuple.Tuple) bool {
+	h := st.keyOf(t)
+	sh := &st.shards[h%hashShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m == nil {
+		sh.m = make(map[uint64][]*tuple.Tuple)
+	}
+	for _, e := range sh.m[h] {
+		if e.Equal(t) {
+			return false
+		}
+	}
+	sh.m[h] = append(sh.m[h], t)
+	sh.n++
+	return true
+}
+
+func (st *hashStore) Len() int {
+	n := 0
+	for i := range st.shards {
+		st.shards[i].mu.RLock()
+		n += st.shards[i].n
+		st.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+func (st *hashStore) Scan(fn func(*tuple.Tuple) bool) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, bucket := range sh.m {
+			for _, t := range bucket {
+				if !fn(t) {
+					sh.mu.RUnlock()
+					return
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+func (st *hashStore) Select(q Query, fn func(*tuple.Tuple) bool) {
+	if len(q.Prefix) < st.k {
+		// Under-specified query: full scan with residual filter.
+		st.Scan(func(t *tuple.Tuple) bool {
+			if q.Matches(t) {
+				return fn(t)
+			}
+			return true
+		})
+		return
+	}
+	h := keyHash(q.Prefix[:st.k])
+	sh := &st.shards[h%hashShards]
+	sh.mu.RLock()
+	bucket := sh.m[h]
+	sh.mu.RUnlock()
+	for _, t := range bucket {
+		if q.Matches(t) {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// --- Array-of-hashsets store -----------------------------------------------
+
+// arrayHashStore is the paper's custom PvWatts Gamma structure (§6.2): a
+// dense array indexed by one small-range int column, with a hash set inside
+// each slot. Queries that fix the indexed column touch exactly one slot.
+type arrayHashStore struct {
+	col    int
+	lo, hi int64
+	slots  []hashShard
+}
+
+// NewArrayOfHashSets indexes column col (an int with values in [lo, hi]).
+func NewArrayOfHashSets(col int, lo, hi int64) StoreFactory {
+	return func(s *tuple.Schema) Store {
+		if col < 0 || col >= s.Arity() || s.Columns[col].Kind != tuple.KindInt || hi < lo {
+			panic(fmt.Sprintf("jstar: array-of-hashsets on %s: bad column %d or range [%d,%d]",
+				s.Name, col, lo, hi))
+		}
+		return &arrayHashStore{col: col, lo: lo, hi: hi, slots: make([]hashShard, hi-lo+1)}
+	}
+}
+
+func (st *arrayHashStore) slot(v int64) *hashShard {
+	if v < st.lo || v > st.hi {
+		panic(fmt.Sprintf("jstar: array-of-hashsets: value %d outside [%d,%d]", v, st.lo, st.hi))
+	}
+	return &st.slots[v-st.lo]
+}
+
+func (st *arrayHashStore) Insert(t *tuple.Tuple) bool {
+	sh := st.slot(t.Field(st.col).AsInt())
+	h := t.Hash()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m == nil {
+		sh.m = make(map[uint64][]*tuple.Tuple)
+	}
+	for _, e := range sh.m[h] {
+		if e.Equal(t) {
+			return false
+		}
+	}
+	sh.m[h] = append(sh.m[h], t)
+	sh.n++
+	return true
+}
+
+func (st *arrayHashStore) Len() int {
+	n := 0
+	for i := range st.slots {
+		st.slots[i].mu.RLock()
+		n += st.slots[i].n
+		st.slots[i].mu.RUnlock()
+	}
+	return n
+}
+
+func (st *arrayHashStore) Scan(fn func(*tuple.Tuple) bool) {
+	for i := range st.slots {
+		sh := &st.slots[i]
+		sh.mu.RLock()
+		for _, bucket := range sh.m {
+			for _, t := range bucket {
+				if !fn(t) {
+					sh.mu.RUnlock()
+					return
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+func (st *arrayHashStore) Select(q Query, fn func(*tuple.Tuple) bool) {
+	if st.col < len(q.Prefix) {
+		sh := st.slot(q.Prefix[st.col].AsInt())
+		sh.mu.RLock()
+		// Snapshot bucket pointers so fn can run without holding the lock.
+		var snapshot []*tuple.Tuple
+		for _, bucket := range sh.m {
+			snapshot = append(snapshot, bucket...)
+		}
+		sh.mu.RUnlock()
+		for _, t := range snapshot {
+			if q.Matches(t) {
+				if !fn(t) {
+					return
+				}
+			}
+		}
+		return
+	}
+	st.Scan(func(t *tuple.Tuple) bool {
+		if q.Matches(t) {
+			return fn(t)
+		}
+		return true
+	})
+}
+
+// DB is the Gamma database: one store per registered table.
+type DB struct {
+	mu       sync.RWMutex
+	stores   map[*tuple.Schema]Store
+	factory  StoreFactory            // default factory
+	override map[string]StoreFactory // per-table compiler hints
+}
+
+// NewDB returns a Gamma database whose default per-table store is built by
+// factory (NewTreeStore for sequential programs, NewSkipStore for parallel).
+func NewDB(factory StoreFactory) *DB {
+	return &DB{
+		stores:   make(map[*tuple.Schema]Store),
+		factory:  factory,
+		override: make(map[string]StoreFactory),
+	}
+}
+
+// SetStore installs a per-table store factory (a data-structure hint,
+// paper stage 4). Must be called before the first tuple of that table.
+func (db *DB) SetStore(table string, f StoreFactory) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.override[table] = f
+}
+
+// Table returns (creating on first use) the store for s.
+func (db *DB) Table(s *tuple.Schema) Store {
+	db.mu.RLock()
+	st, ok := db.stores[s]
+	db.mu.RUnlock()
+	if ok {
+		return st
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if st, ok = db.stores[s]; ok {
+		return st
+	}
+	f := db.factory
+	if of, ok := db.override[s.Name]; ok {
+		f = of
+	}
+	st = f(s)
+	db.stores[s] = st
+	return st
+}
+
+// Insert adds t to its table's store.
+func (db *DB) Insert(t *tuple.Tuple) bool { return db.Table(t.Schema()).Insert(t) }
+
+// Len returns the total number of stored tuples across tables.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, st := range db.stores {
+		n += st.Len()
+	}
+	return n
+}

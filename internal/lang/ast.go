@@ -1,0 +1,205 @@
+package lang
+
+// This file defines the abstract syntax tree produced by the parser.
+
+// File is a parsed JStar source file.
+type File struct {
+	Decls []Decl
+}
+
+// Decl is a top-level declaration.
+type Decl interface{ declNode() }
+
+// TableDecl is `table Name(cols -> cols) orderby (entries)`.
+type TableDecl struct {
+	Name    string
+	Cols    []ColDecl
+	OrderBy []OrderByEntry
+	Line    int
+}
+
+// ColDecl is one `type name` column; Key marks columns left of `->`.
+type ColDecl struct {
+	Type string // int, double, String, boolean
+	Name string
+	Key  bool
+}
+
+// OrderByEntry mirrors tuple.OrderEntry at the syntax level.
+type OrderByEntry struct {
+	Kind string // "lit", "seq", "par"
+	Name string // literal name or field name
+}
+
+// OrderDecl is `order A < B < C`.
+type OrderDecl struct {
+	Names []string
+	Line  int
+}
+
+// PutDecl is a top-level `put new T(args)`.
+type PutDecl struct {
+	Expr *NewExpr
+	Line int
+}
+
+// RuleDecl is `foreach (Table var) { body }`.
+type RuleDecl struct {
+	Table string
+	Var   string
+	Body  []Stmt
+	Line  int
+}
+
+func (*TableDecl) declNode() {}
+func (*OrderDecl) declNode() {}
+func (*PutDecl) declNode()   {}
+func (*RuleDecl) declNode()  {}
+
+// Stmt is a rule-body statement.
+type Stmt interface{ stmtNode() }
+
+// IfStmt is `if (cond) {..} else {..}` (else optional).
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// ValStmt is `val name = expr`.
+type ValStmt struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// PutStmt is `put expr` where expr evaluates to a tuple.
+type PutStmt struct {
+	Expr Expr
+	Line int
+}
+
+// PrintlnStmt is `println(expr)`.
+type PrintlnStmt struct {
+	Expr Expr
+	Line int
+}
+
+// ForStmt is `for (v : get T(args)) { body }`.
+type ForStmt struct {
+	Var   string
+	Query *GetExpr
+	Body  []Stmt
+	Line  int
+}
+
+// AccumStmt is `name += expr` (reducer accumulation).
+type AccumStmt struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+func (*IfStmt) stmtNode()      {}
+func (*ValStmt) stmtNode()     {}
+func (*PutStmt) stmtNode()     {}
+func (*PrintlnStmt) stmtNode() {}
+func (*ForStmt) stmtNode()     {}
+func (*AccumStmt) stmtNode()   {}
+
+// Expr is an expression.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// FloatLit is a floating literal.
+type FloatLit struct{ V float64 }
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+// BoolLit is true/false.
+type BoolLit struct{ V bool }
+
+// NullLit is `null`.
+type NullLit struct{}
+
+// VarRef references a local val, the rule variable, or a lambda field.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// FieldAccess is `var.field` (tuple field or reducer property).
+type FieldAccess struct {
+	X     Expr
+	Field string
+	Line  int
+}
+
+// Binary is a binary operator expression.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Unary is `-x` or `!x`.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// NewExpr is `new Table(args)` or `new Statistics()`.
+type NewExpr struct {
+	Table string
+	Args  []Expr
+	Line  int
+}
+
+// GetMode classifies query forms.
+type GetMode int
+
+const (
+	// GetAll is the iterable form used in for loops.
+	GetAll GetMode = iota
+	// GetUniq is `get uniq? T(...)`: the unique match or null.
+	GetUniq
+	// GetMin is `get min T(...)`: the matching tuple with the smallest
+	// orderby field.
+	GetMin
+	// GetCount is `get count T(...)`: an aggregate count.
+	GetCount
+)
+
+// GetExpr is a database query.
+type GetExpr struct {
+	Mode   GetMode
+	Table  string
+	Args   []Expr // equality-prefix argument expressions
+	Lambda Expr   // optional [predicate] over the queried tuple's fields
+	Line   int
+}
+
+// CallExpr is a builtin call: min, max, abs.
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+	Line int
+}
+
+func (*IntLit) exprNode()      {}
+func (*FloatLit) exprNode()    {}
+func (*StrLit) exprNode()      {}
+func (*BoolLit) exprNode()     {}
+func (*NullLit) exprNode()     {}
+func (*VarRef) exprNode()      {}
+func (*FieldAccess) exprNode() {}
+func (*Binary) exprNode()      {}
+func (*Unary) exprNode()       {}
+func (*NewExpr) exprNode()     {}
+func (*GetExpr) exprNode()     {}
+func (*CallExpr) exprNode()    {}

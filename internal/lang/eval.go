@@ -1,0 +1,433 @@
+package lang
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/reduce"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// Runtime values are represented as:
+//
+//	int64, float64, string, bool  — scalars
+//	*tuple.Tuple                  — tuples (val x = get uniq? ...)
+//	*reduce.Statistics            — reducer objects
+//	nil                           — null
+//
+// scope resolves variable names during evaluation.
+type scope interface {
+	lookup(name string) (any, bool)
+}
+
+// eval evaluates an expression. ctx may be nil for top-level constant
+// expressions (initial puts).
+func (c *compiler) eval(ctx *core.Ctx, sc scope, e Expr) (any, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.V, nil
+	case *FloatLit:
+		return e.V, nil
+	case *StrLit:
+		return e.V, nil
+	case *BoolLit:
+		return e.V, nil
+	case *NullLit:
+		return nil, nil
+	case *VarRef:
+		if v, ok := sc.lookup(e.Name); ok {
+			return v, nil
+		}
+		return nil, errf(e.Line, 1, "unknown variable %s", e.Name)
+	case *FieldAccess:
+		x, err := c.eval(ctx, sc, e.X)
+		if err != nil {
+			return nil, err
+		}
+		return fieldOf(x, e.Field, e.Line)
+	case *Unary:
+		x, err := c.eval(ctx, sc, e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-":
+			switch v := x.(type) {
+			case int64:
+				return -v, nil
+			case float64:
+				return -v, nil
+			}
+			return nil, errf(e.Line, 1, "unary - on %T", x)
+		case "!":
+			b, ok := x.(bool)
+			if !ok {
+				return nil, errf(e.Line, 1, "unary ! on %T", x)
+			}
+			return !b, nil
+		}
+		return nil, errf(e.Line, 1, "unknown unary %s", e.Op)
+	case *Binary:
+		return c.evalBinary(ctx, sc, e)
+	case *NewExpr:
+		if e.Table == "Statistics" {
+			return reduce.NewStatistics(), nil
+		}
+		s, err := c.schema(e.Table, e.Line)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]tuple.Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := c.eval(ctx, sc, a)
+			if err != nil {
+				return nil, err
+			}
+			vals[i], err = toValue(v, s.Columns[i].Kind)
+			if err != nil {
+				return nil, errf(e.Line, 1, "new %s field %s: %v", e.Table, s.Columns[i].Name, err)
+			}
+		}
+		return tuple.New(s, vals...), nil
+	case *GetExpr:
+		if ctx == nil {
+			return nil, errf(e.Line, 1, "get queries are not allowed in top-level puts")
+		}
+		env2, ok := sc.(*env)
+		if !ok {
+			return nil, errf(e.Line, 1, "nested get inside a query lambda is not supported")
+		}
+		return c.evalGet(ctx, env2, e)
+	case *CallExpr:
+		args := make([]any, len(e.Args))
+		for i, a := range e.Args {
+			v, err := c.eval(ctx, sc, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return callBuiltin(e, args)
+	default:
+		return nil, fmt.Errorf("jstar: unknown expression %T", e)
+	}
+}
+
+func callBuiltin(e *CallExpr, args []any) (any, error) {
+	binNum := func(f func(a, b float64) float64, g func(a, b int64) int64) (any, error) {
+		if len(args) != 2 {
+			return nil, errf(e.Line, 1, "%s takes 2 arguments", e.Fn)
+		}
+		ai, aInt := args[0].(int64)
+		bi, bInt := args[1].(int64)
+		if aInt && bInt {
+			return g(ai, bi), nil
+		}
+		af, err := toFloat(args[0])
+		if err != nil {
+			return nil, err
+		}
+		bf, err := toFloat(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return f(af, bf), nil
+	}
+	switch e.Fn {
+	case "min":
+		return binNum(math.Min, func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		})
+	case "max":
+		return binNum(math.Max, func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	case "abs":
+		if len(args) != 1 {
+			return nil, errf(e.Line, 1, "abs takes 1 argument")
+		}
+		switch v := args[0].(type) {
+		case int64:
+			if v < 0 {
+				return -v, nil
+			}
+			return v, nil
+		case float64:
+			return math.Abs(v), nil
+		}
+		return nil, errf(e.Line, 1, "abs on %T", args[0])
+	}
+	return nil, errf(e.Line, 1, "unknown function %s", e.Fn)
+}
+
+func (c *compiler) evalBinary(ctx *core.Ctx, sc scope, e *Binary) (any, error) {
+	// Short-circuit logical operators.
+	if e.Op == "&&" || e.Op == "||" {
+		l, err := c.eval(ctx, sc, e.L)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := l.(bool)
+		if !ok {
+			return nil, errf(e.Line, 1, "%s on non-boolean %T", e.Op, l)
+		}
+		if e.Op == "&&" && !lb {
+			return false, nil
+		}
+		if e.Op == "||" && lb {
+			return true, nil
+		}
+		r, err := c.eval(ctx, sc, e.R)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(bool)
+		if !ok {
+			return nil, errf(e.Line, 1, "%s on non-boolean %T", e.Op, r)
+		}
+		return rb, nil
+	}
+	l, err := c.eval(ctx, sc, e.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.eval(ctx, sc, e.R)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case "==", "!=":
+		eq, err := equalVals(l, r)
+		if err != nil {
+			return nil, errf(e.Line, 1, "%v", err)
+		}
+		if e.Op == "!=" {
+			return !eq, nil
+		}
+		return eq, nil
+	}
+	// String concatenation with +.
+	if e.Op == "+" {
+		if ls, ok := l.(string); ok {
+			return ls + render(r), nil
+		}
+		if rs, ok := r.(string); ok {
+			return render(l) + rs, nil
+		}
+	}
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch e.Op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, errf(e.Line, 1, "integer division by zero")
+			}
+			return li / ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, errf(e.Line, 1, "integer modulo by zero")
+			}
+			return li % ri, nil
+		case "<":
+			return li < ri, nil
+		case "<=":
+			return li <= ri, nil
+		case ">":
+			return li > ri, nil
+		case ">=":
+			return li >= ri, nil
+		}
+	}
+	lf, lerr := toFloat(l)
+	rf, rerr := toFloat(r)
+	if lerr != nil || rerr != nil {
+		// Allow string comparison.
+		ls, lok := l.(string)
+		rs, rok := r.(string)
+		if lok && rok {
+			switch e.Op {
+			case "<":
+				return ls < rs, nil
+			case "<=":
+				return ls <= rs, nil
+			case ">":
+				return ls > rs, nil
+			case ">=":
+				return ls >= rs, nil
+			}
+		}
+		return nil, errf(e.Line, 1, "operator %s on %T and %T", e.Op, l, r)
+	}
+	switch e.Op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		return lf / rf, nil
+	case "%":
+		return math.Mod(lf, rf), nil
+	case "<":
+		return lf < rf, nil
+	case "<=":
+		return lf <= rf, nil
+	case ">":
+		return lf > rf, nil
+	case ">=":
+		return lf >= rf, nil
+	}
+	return nil, errf(e.Line, 1, "unknown operator %s", e.Op)
+}
+
+func equalVals(l, r any) (bool, error) {
+	if l == nil || r == nil {
+		return l == nil && r == nil, nil
+	}
+	if lt, ok := l.(*tuple.Tuple); ok {
+		rt, ok := r.(*tuple.Tuple)
+		if !ok {
+			return false, nil
+		}
+		return lt.Equal(rt), nil
+	}
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		return li == ri, nil
+	}
+	lf, lerr := toFloat(l)
+	rf, rerr := toFloat(r)
+	if lerr == nil && rerr == nil {
+		return lf == rf, nil
+	}
+	switch lv := l.(type) {
+	case string:
+		rv, ok := r.(string)
+		return ok && lv == rv, nil
+	case bool:
+		rv, ok := r.(bool)
+		return ok && lv == rv, nil
+	}
+	return false, fmt.Errorf("cannot compare %T and %T", l, r)
+}
+
+// fieldOf resolves x.field for tuples and reducer objects.
+func fieldOf(x any, field string, line int) (any, error) {
+	switch v := x.(type) {
+	case *tuple.Tuple:
+		i := v.Schema().ColumnIndex(field)
+		if i < 0 {
+			return nil, errf(line, 1, "table %s has no column %s", v.Schema().Name, field)
+		}
+		return fromValue(v.Field(i)), nil
+	case *reduce.Statistics:
+		switch field {
+		case "mean":
+			return v.Mean(), nil
+		case "sum":
+			return v.Sum, nil
+		case "count":
+			return v.N, nil
+		case "min":
+			return v.MinV, nil
+		case "max":
+			return v.MaxV, nil
+		}
+		return nil, errf(line, 1, "Statistics has no property %s", field)
+	case nil:
+		return nil, errf(line, 1, "field access .%s on null (guard with != null)", field)
+	default:
+		return nil, errf(line, 1, "field access .%s on %T", field, x)
+	}
+}
+
+// fromValue converts a stored column value to a runtime value.
+func fromValue(v tuple.Value) any {
+	switch v.Kind() {
+	case tuple.KindInt:
+		return v.AsInt()
+	case tuple.KindFloat:
+		return v.AsFloat()
+	case tuple.KindString:
+		return v.AsString()
+	case tuple.KindBool:
+		return v.AsBool()
+	}
+	return nil
+}
+
+// toValue converts a runtime value into a column value of the given kind,
+// applying Java-style int->double widening.
+func toValue(v any, k tuple.Kind) (tuple.Value, error) {
+	switch k {
+	case tuple.KindInt:
+		if i, ok := v.(int64); ok {
+			return tuple.Int(i), nil
+		}
+	case tuple.KindFloat:
+		switch x := v.(type) {
+		case float64:
+			return tuple.Float(x), nil
+		case int64:
+			return tuple.Float(float64(x)), nil
+		}
+	case tuple.KindString:
+		if s, ok := v.(string); ok {
+			return tuple.String_(s), nil
+		}
+	case tuple.KindBool:
+		if b, ok := v.(bool); ok {
+			return tuple.Bool(b), nil
+		}
+	}
+	return tuple.Value{}, fmt.Errorf("cannot use %T as %v", v, k)
+}
+
+func toFloat(v any) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case int64:
+		return float64(x), nil
+	}
+	return 0, fmt.Errorf("not numeric: %T", v)
+}
+
+// render formats a runtime value for println and string concatenation.
+func render(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(x)
+	case *tuple.Tuple:
+		return x.String()
+	case *reduce.Statistics:
+		return fmt.Sprintf("Statistics(n=%d, mean=%g)", x.N, x.Mean())
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}

@@ -1,0 +1,192 @@
+// Package lang implements a frontend for the JStar language: a lexer,
+// recursive-descent parser, and a compiler that loads programs onto the
+// execution engine (internal/core). The surface syntax follows the paper's
+// examples (§3, Fig 4, Fig 5):
+//
+//	table Ship(int frame -> int x, int y, int dx, int dy) orderby (Int, seq frame)
+//	order Req < PvWatts < SumMonth
+//	put new Ship(0, 10, 10, 150, 0)
+//	foreach (Ship s) {
+//	  if (s.x < 400) { put new Ship(s.frame+1, s.x+150, s.y, s.dx, s.dy) }
+//	}
+//
+// Rule bodies support val bindings, if/else, put, println, reducer
+// accumulation (stats += e), for loops over positive queries
+// (for (r : get T(args)) { ... }), and the query forms get uniq? / get min
+// with optional [lambda] residual predicates.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokPunct // operators and delimiters
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Error is a positioned frontend error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("jstar:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// multi-char punctuation, longest first.
+var puncts = []string{
+	"->", "+=", "==", "!=", "<=", ">=", "&&", "||",
+	"(", ")", "{", "}", "[", "]", ",", ";", ".", ":",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "?",
+}
+
+// Lex tokenises src. Comments run // to end of line or /* */.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			startLine, startCol := line, col
+			advance(2)
+			for {
+				if i+1 >= len(src) {
+					return nil, errf(startLine, startCol, "unterminated block comment")
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					break
+				}
+				advance(1)
+			}
+		case c == '"':
+			startLine, startCol := line, col
+			advance(1)
+			var b strings.Builder
+			for {
+				if i >= len(src) || src[i] == '\n' {
+					return nil, errf(startLine, startCol, "unterminated string literal")
+				}
+				if src[i] == '"' {
+					advance(1)
+					break
+				}
+				if src[i] == '\\' && i+1 < len(src) {
+					switch src[i+1] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case '\\':
+						b.WriteByte('\\')
+					case '"':
+						b.WriteByte('"')
+					default:
+						return nil, errf(line, col, "unknown escape \\%c", src[i+1])
+					}
+					advance(2)
+					continue
+				}
+				b.WriteByte(src[i])
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: b.String(), Line: startLine, Col: startCol})
+		case unicode.IsDigit(rune(c)):
+			startLine, startCol := line, col
+			j := i
+			isFloat := false
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				if src[j] == '.' {
+					// ".." or ".x" method access would stop the number; we
+					// only accept a single dot followed by a digit.
+					if isFloat || j+1 >= len(src) || !unicode.IsDigit(rune(src[j+1])) {
+						break
+					}
+					isFloat = true
+				}
+				j++
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			text := src[i:j]
+			advance(j - i)
+			toks = append(toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			text := src[i:j]
+			advance(j - i)
+			toks = append(toks, Token{Kind: TokIdent, Text: text, Line: startLine, Col: startCol})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line, Col: col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errf(line, col, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}

@@ -1,0 +1,335 @@
+package lang
+
+import (
+	"fmt"
+
+	"github.com/jstar-lang/jstar/internal/causality"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// This file extracts symbolic causality.RuleSpecs from parsed rules, so
+// cmd/jstar-check can discharge the §4 proof obligations on real source.
+// The extraction is a sound best-effort: put/query key components that are
+// affine (c0 + c1*trigger.field ± ...) become linear expressions; anything
+// else becomes a fresh unconstrained variable, and guards that are not
+// affine comparisons are dropped — both choices only make obligations
+// harder to prove, never easier.
+
+// ExtractSpecs builds one RuleSpec per foreach rule in the file.
+func ExtractSpecs(f *File) ([]causality.RuleSpec, error) {
+	tables := map[string]*TableDecl{}
+	for _, d := range f.Decls {
+		if td, ok := d.(*TableDecl); ok {
+			tables[td.Name] = td
+		}
+	}
+	var specs []causality.RuleSpec
+	n := 0
+	for _, d := range f.Decls {
+		rd, ok := d.(*RuleDecl)
+		if !ok {
+			continue
+		}
+		n++
+		td, ok := tables[rd.Table]
+		if !ok {
+			return nil, errf(rd.Line, 1, "unknown table %s", rd.Table)
+		}
+		ex := &extractor{
+			tables:  tables,
+			trigVar: rd.Var,
+			fresh:   0,
+		}
+		spec := causality.RuleSpec{
+			Name:       fmt.Sprintf("foreach_%s_%d", rd.Table, n),
+			Trigger:    rd.Table,
+			TriggerKey: ex.schemaKey(td, rd.Var),
+		}
+		ex.walk(rd.Body, nil, &spec)
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// ExtractSpecsSource parses src and extracts rule specs.
+func ExtractSpecsSource(src string) ([]causality.RuleSpec, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ExtractSpecs(f)
+}
+
+type extractor struct {
+	tables  map[string]*TableDecl
+	trigVar string
+	fresh   int
+}
+
+func (ex *extractor) freshVar(hint string) causality.Expr {
+	ex.fresh++
+	return causality.Var(fmt.Sprintf("$%s%d", hint, ex.fresh))
+}
+
+// schemaKey is the symbolic key of table td's own tuples bound to var v.
+func (ex *extractor) schemaKey(td *TableDecl, v string) []causality.KeyExpr {
+	var out []causality.KeyExpr
+	for _, e := range td.OrderBy {
+		if e.Kind == "lit" {
+			out = append(out, causality.LitKey(e.Name))
+		} else {
+			out = append(out, causality.ExprKey(causality.Var(v+"."+e.Name)))
+		}
+	}
+	return out
+}
+
+// affine converts an expression over the trigger tuple into a linear
+// expression; ok is false for non-affine shapes.
+func (ex *extractor) affine(e Expr) (causality.Expr, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return causality.Const(e.V), true
+	case *FieldAccess:
+		if vr, ok := e.X.(*VarRef); ok {
+			// Any bound tuple variable's field is a symbolic variable;
+			// the trigger variable's fields are what invariants and keys
+			// typically constrain.
+			return causality.Var(vr.Name + "." + e.Field), true
+		}
+		return causality.Expr{}, false
+	case *VarRef:
+		return causality.Var(e.Name), true
+	case *Unary:
+		if e.Op == "-" {
+			if x, ok := ex.affine(e.X); ok {
+				return x.Scale(-1), true
+			}
+		}
+		return causality.Expr{}, false
+	case *Binary:
+		l, lok := ex.affine(e.L)
+		r, rok := ex.affine(e.R)
+		if !lok || !rok {
+			return causality.Expr{}, false
+		}
+		switch e.Op {
+		case "+":
+			return l.Add(r), true
+		case "-":
+			return l.Sub(r), true
+		case "*":
+			// Affine only when one side is constant.
+			if k, isConst := l.IsConst(); isConst && k.IsInt() {
+				return r.Scale(k.Num().Int64()), true
+			}
+			if k, isConst := r.IsConst(); isConst && k.IsInt() {
+				return l.Scale(k.Num().Int64()), true
+			}
+		}
+		return causality.Expr{}, false
+	default:
+		return causality.Expr{}, false
+	}
+}
+
+// guardConstraints converts a boolean condition into linear constraints
+// (best effort: non-affine conjuncts are dropped).
+func (ex *extractor) guardConstraints(cond Expr) []causality.Constraint {
+	switch e := cond.(type) {
+	case *Binary:
+		switch e.Op {
+		case "&&":
+			return append(ex.guardConstraints(e.L), ex.guardConstraints(e.R)...)
+		case "<", "<=", ">", ">=", "==":
+			l, lok := ex.affine(e.L)
+			r, rok := ex.affine(e.R)
+			if !lok || !rok {
+				return nil
+			}
+			switch e.Op {
+			case "<":
+				return []causality.Constraint{causality.LT(l, r)}
+			case "<=":
+				return []causality.Constraint{causality.LE(l, r)}
+			case ">":
+				return []causality.Constraint{causality.GT(l, r)}
+			case ">=":
+				return []causality.Constraint{causality.GE(l, r)}
+			case "==":
+				return causality.EQ(l, r)
+			}
+		}
+	}
+	return nil
+}
+
+// keyOfPut builds the symbolic key of a `new T(args)` put.
+func (ex *extractor) keyOfPut(ne *NewExpr) []causality.KeyExpr {
+	td, ok := ex.tables[ne.Table]
+	if !ok {
+		return nil
+	}
+	colIndex := map[string]int{}
+	for i, c := range td.Cols {
+		colIndex[c.Name] = i
+	}
+	var out []causality.KeyExpr
+	for _, e := range td.OrderBy {
+		if e.Kind == "lit" {
+			out = append(out, causality.LitKey(e.Name))
+			continue
+		}
+		idx, ok := colIndex[e.Name]
+		if !ok || idx >= len(ne.Args) {
+			out = append(out, causality.ExprKey(ex.freshVar("put")))
+			continue
+		}
+		if a, ok := ex.affine(ne.Args[idx]); ok {
+			out = append(out, causality.ExprKey(a))
+		} else {
+			out = append(out, causality.ExprKey(ex.freshVar("put")))
+		}
+	}
+	return out
+}
+
+// keyOfQuery builds the symbolic key and guards of a get query. Prefix
+// arguments bind the corresponding columns; lambda comparisons over a
+// single queried field add guards through a q-variable.
+func (ex *extractor) keyOfQuery(ge *GetExpr) ([]causality.KeyExpr, []causality.Constraint) {
+	td, ok := ex.tables[ge.Table]
+	if !ok {
+		return nil, nil
+	}
+	ex.fresh++
+	qv := fmt.Sprintf("q%d", ex.fresh)
+	colIndex := map[string]int{}
+	for i, c := range td.Cols {
+		colIndex[c.Name] = i
+	}
+	var guards []causality.Constraint
+	if ge.Lambda != nil {
+		// Lambda fields are unqualified; qualify them with the q-variable.
+		guards = ex.guardConstraints(qualify(ge.Lambda, colIndex, qv))
+	}
+	var out []causality.KeyExpr
+	for _, e := range td.OrderBy {
+		if e.Kind == "lit" {
+			out = append(out, causality.LitKey(e.Name))
+			continue
+		}
+		idx, ok := colIndex[e.Name]
+		if ok && idx < len(ge.Args) {
+			if a, aok := ex.affine(ge.Args[idx]); aok {
+				out = append(out, causality.ExprKey(a))
+				continue
+			}
+		}
+		// Unbound orderby field: the q-variable (possibly constrained by
+		// the lambda guards).
+		out = append(out, causality.ExprKey(causality.Var(qv+"."+e.Name)))
+	}
+	return out, guards
+}
+
+// qualify rewrites unqualified field references in a lambda into
+// qv.field references so they line up with the query key variables.
+func qualify(e Expr, cols map[string]int, qv string) Expr {
+	switch e := e.(type) {
+	case *VarRef:
+		if _, ok := cols[e.Name]; ok {
+			return &FieldAccess{X: &VarRef{Name: qv}, Field: e.Name, Line: e.Line}
+		}
+		return e
+	case *Binary:
+		return &Binary{Op: e.Op, L: qualify(e.L, cols, qv), R: qualify(e.R, cols, qv), Line: e.Line}
+	case *Unary:
+		return &Unary{Op: e.Op, X: qualify(e.X, cols, qv), Line: e.Line}
+	default:
+		return e
+	}
+}
+
+// walk visits statements gathering puts and queries under path guards.
+func (ex *extractor) walk(stmts []Stmt, guards []causality.Constraint, spec *causality.RuleSpec) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *IfStmt:
+			thenGuards := append(append([]causality.Constraint{}, guards...),
+				ex.guardConstraints(s.Cond)...)
+			ex.walk(s.Then, thenGuards, spec)
+			// Else branch: the negated guard is usually non-affine
+			// (negation of a conjunction); drop it — sound.
+			ex.walk(s.Else, guards, spec)
+			ex.collectQueries(s.Cond, guards, spec)
+		case *ValStmt:
+			ex.collectQueries(s.Expr, guards, spec)
+		case *PutStmt:
+			if ne, ok := s.Expr.(*NewExpr); ok && ne.Table != "Statistics" {
+				spec.Puts = append(spec.Puts, causality.PutSpec{
+					Table: ne.Table,
+					Guard: append([]causality.Constraint{}, guards...),
+					Key:   ex.keyOfPut(ne),
+				})
+			}
+			ex.collectQueries(s.Expr, guards, spec)
+		case *PrintlnStmt:
+			ex.collectQueries(s.Expr, guards, spec)
+		case *ForStmt:
+			ex.addQuery(s.Query, causality.Positive, guards, spec)
+			ex.walk(s.Body, guards, spec)
+		case *AccumStmt:
+			ex.collectQueries(s.Expr, guards, spec)
+		}
+	}
+}
+
+// collectQueries finds get expressions nested in an expression.
+func (ex *extractor) collectQueries(e Expr, guards []causality.Constraint, spec *causality.RuleSpec) {
+	switch e := e.(type) {
+	case *GetExpr:
+		kind := causality.Positive
+		switch e.Mode {
+		case GetUniq:
+			// `get uniq? T(...)` used as existence check; its result can
+			// be invalidated by future puts, so it is a negative query.
+			kind = causality.Negative
+		case GetMin, GetCount:
+			kind = causality.Aggregate
+		}
+		ex.addQuery(e, kind, guards, spec)
+	case *Binary:
+		ex.collectQueries(e.L, guards, spec)
+		ex.collectQueries(e.R, guards, spec)
+	case *Unary:
+		ex.collectQueries(e.X, guards, spec)
+	case *FieldAccess:
+		ex.collectQueries(e.X, guards, spec)
+	case *NewExpr:
+		for _, a := range e.Args {
+			ex.collectQueries(a, guards, spec)
+		}
+	case *CallExpr:
+		for _, a := range e.Args {
+			ex.collectQueries(a, guards, spec)
+		}
+	}
+}
+
+func (ex *extractor) addQuery(ge *GetExpr, kind causality.QueryKind,
+	guards []causality.Constraint, spec *causality.RuleSpec) {
+	key, qguards := ex.keyOfQuery(ge)
+	spec.Queries = append(spec.Queries, causality.QuerySpec{
+		Table: ge.Table,
+		Kind:  kind,
+		Guard: append(append([]causality.Constraint{}, guards...), qguards...),
+		Key:   key,
+	})
+}
+
+// SchemaKeyFor exposes schemaKey for tools that build specs from engine
+// schemas rather than source (cmd/jstar-check's built-in suites).
+func SchemaKeyFor(s *tuple.Schema, varName string) []causality.KeyExpr {
+	return causality.KeyOfSchema(s, varName)
+}

@@ -1,0 +1,266 @@
+package llrb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int] {
+	return New(func(a, b int) int { return a - b })
+}
+
+func TestInsertAndContains(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{5, 3, 8, 1, 4, 7, 9} {
+		if !tr.Insert(v) {
+			t.Errorf("Insert(%d) = false on fresh value", v)
+		}
+	}
+	if tr.Len() != 7 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Insert(5) {
+		t.Error("duplicate insert must return false (set semantics)")
+	}
+	if tr.Len() != 7 {
+		t.Error("duplicate insert must not grow the tree")
+	}
+	for _, v := range []int{1, 3, 4, 5, 7, 8, 9} {
+		if !tr.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	if tr.Contains(6) {
+		t.Error("Contains(6) = true")
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	tr := intTree()
+	if _, ok := tr.Min(); ok {
+		t.Error("Min on empty")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Error("Max on empty")
+	}
+	if _, ok := tr.DeleteMin(); ok {
+		t.Error("DeleteMin on empty")
+	}
+	if _, ok := tr.Ceiling(1); ok {
+		t.Error("Ceiling on empty")
+	}
+}
+
+func TestMinMaxCeiling(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{50, 20, 80, 10, 30} {
+		tr.Insert(v)
+	}
+	if m, _ := tr.Min(); m != 10 {
+		t.Errorf("Min = %d", m)
+	}
+	if m, _ := tr.Max(); m != 80 {
+		t.Errorf("Max = %d", m)
+	}
+	if c, _ := tr.Ceiling(25); c != 30 {
+		t.Errorf("Ceiling(25) = %d", c)
+	}
+	if c, _ := tr.Ceiling(30); c != 30 {
+		t.Errorf("Ceiling(30) = %d", c)
+	}
+	if _, ok := tr.Ceiling(81); ok {
+		t.Error("Ceiling above max should be absent")
+	}
+}
+
+func TestDeleteMinDrains(t *testing.T) {
+	tr := intTree()
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, v := range perm {
+		tr.Insert(v)
+	}
+	for i := 0; i < 500; i++ {
+		m, ok := tr.DeleteMin()
+		if !ok || m != i {
+			t.Fatalf("DeleteMin #%d = %d, %v", i, m, ok)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Error("tree should be empty")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 100; i++ {
+		tr.Insert(i)
+	}
+	if tr.Delete(1000) {
+		t.Error("Delete of absent element must return false")
+	}
+	for i := 0; i < 100; i += 2 {
+		if !tr.Delete(i) {
+			t.Errorf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		want := i%2 == 1
+		if tr.Contains(i) != want {
+			t.Errorf("Contains(%d) = %v, want %v", i, !want, want)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := intTree()
+	perm := rand.New(rand.NewSource(2)).Perm(1000)
+	for _, v := range perm {
+		tr.Insert(v)
+	}
+	var got []int
+	tr.Ascend(func(v int) bool { got = append(got, v); return true })
+	if !sort.IntsAreSorted(got) || len(got) != 1000 {
+		t.Error("Ascend must visit all elements in order")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 10; i++ {
+		tr.Insert(i)
+	}
+	count := 0
+	tr.Ascend(func(v int) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 100; i += 10 {
+		tr.Insert(i)
+	}
+	var got []int
+	tr.AscendFrom(35, func(v int) bool { got = append(got, v); return true })
+	want := []int{40, 50, 60, 70, 80, 90}
+	if len(got) != len(want) {
+		t.Fatalf("AscendFrom(35) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AscendFrom(35) = %v, want %v", got, want)
+		}
+	}
+	// Inclusive lower bound.
+	got = got[:0]
+	tr.AscendFrom(40, func(v int) bool { got = append(got, v); return true })
+	if len(got) != 6 || got[0] != 40 {
+		t.Errorf("AscendFrom(40) = %v", got)
+	}
+}
+
+func TestGetEqual(t *testing.T) {
+	type kv struct{ k, v int }
+	tr := New(func(a, b kv) int { return a.k - b.k })
+	tr.Insert(kv{1, 100})
+	got, ok := tr.GetEqual(kv{1, 0})
+	if !ok || got.v != 100 {
+		t.Error("GetEqual must return the stored element")
+	}
+	if _, ok := tr.GetEqual(kv{2, 0}); ok {
+		t.Error("GetEqual on absent key")
+	}
+}
+
+func TestClear(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 10; i++ {
+		tr.Insert(i)
+	}
+	tr.Clear()
+	if tr.Len() != 0 || tr.Contains(5) {
+		t.Error("Clear")
+	}
+}
+
+// TestRandomOpsAgainstMap cross-checks the tree against a reference map
+// under a random operation mix.
+func TestRandomOpsAgainstMap(t *testing.T) {
+	tr := intTree()
+	ref := make(map[int]bool)
+	r := rand.New(rand.NewSource(42))
+	for op := 0; op < 20000; op++ {
+		v := r.Intn(300)
+		switch r.Intn(3) {
+		case 0:
+			if tr.Insert(v) == ref[v] {
+				t.Fatalf("op %d: Insert(%d) disagreed with reference", op, v)
+			}
+			ref[v] = true
+		case 1:
+			if tr.Delete(v) != ref[v] {
+				t.Fatalf("op %d: Delete(%d) disagreed with reference", op, v)
+			}
+			delete(ref, v)
+		default:
+			if tr.Contains(v) != ref[v] {
+				t.Fatalf("op %d: Contains(%d) disagreed with reference", op, v)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len %d != %d", op, tr.Len(), len(ref))
+		}
+	}
+	// Final order check.
+	var got []int
+	tr.Ascend(func(v int) bool { got = append(got, v); return true })
+	if !sort.IntsAreSorted(got) {
+		t.Error("final traversal not sorted")
+	}
+}
+
+// TestInsertSortedProperty: inserting any slice then ascending yields the
+// sorted unique values (property-based).
+func TestInsertSortedProperty(t *testing.T) {
+	f := func(xs []int16) bool {
+		tr := intTree()
+		uniq := make(map[int]bool)
+		for _, x := range xs {
+			tr.Insert(int(x))
+			uniq[int(x)] = true
+		}
+		var got []int
+		tr.Ascend(func(v int) bool { got = append(got, v); return true })
+		if len(got) != len(uniq) {
+			return false
+		}
+		return sort.IntsAreSorted(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLLRBInsert(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(i * 2654435761 % (1 << 30))
+	}
+}
+
+func BenchmarkLLRBDeleteMin(b *testing.B) {
+	tr := intTree()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(i * 2654435761 % (1 << 30))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.DeleteMin()
+	}
+}

@@ -1,0 +1,202 @@
+package order
+
+import (
+	"testing"
+
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+func TestDeclareAndLess(t *testing.T) {
+	p := NewPartialOrder()
+	// order Req < PvWatts < SumMonth (paper Fig 4)
+	if err := p.Declare("Req", "PvWatts", "SumMonth"); err != nil {
+		t.Fatalf("Declare: %v", err)
+	}
+	if !p.Less("Req", "PvWatts") || !p.Less("PvWatts", "SumMonth") {
+		t.Error("direct edges missing")
+	}
+	if !p.Less("Req", "SumMonth") {
+		t.Error("transitive closure missing")
+	}
+	if p.Less("SumMonth", "Req") {
+		t.Error("order is not symmetric")
+	}
+	if !p.Comparable("Req", "SumMonth") || !p.Comparable("Req", "Req") {
+		t.Error("comparable")
+	}
+}
+
+func TestDeclareCycleRejected(t *testing.T) {
+	p := NewPartialOrder()
+	if err := p.Declare("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Declare("B", "C"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Declare("C", "A"); err == nil {
+		t.Error("cycle must be rejected (stratification would fail)")
+	}
+	if err := p.Declare("A", "A"); err == nil {
+		t.Error("reflexive order must be rejected")
+	}
+}
+
+func TestDeclareTooShort(t *testing.T) {
+	p := NewPartialOrder()
+	if err := p.Declare("A"); err == nil {
+		t.Error("single-name order declaration must fail")
+	}
+}
+
+func TestRedundantDeclareOK(t *testing.T) {
+	p := NewPartialOrder()
+	if err := p.Declare("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Declare("A", "B"); err != nil {
+		t.Errorf("redundant declaration should be accepted: %v", err)
+	}
+}
+
+func TestRanksRespectOrder(t *testing.T) {
+	p := NewPartialOrder()
+	if err := p.Declare("Vertex", "Edge", "Int"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Declare("Estimate", "Done"); err != nil {
+		t.Fatal(err)
+	}
+	if !(p.Rank("Vertex") < p.Rank("Edge") && p.Rank("Edge") < p.Rank("Int")) {
+		t.Error("ranks must respect declared order")
+	}
+	if !(p.Rank("Estimate") < p.Rank("Done")) {
+		t.Error("ranks must respect second chain")
+	}
+}
+
+func TestRanksDeterministic(t *testing.T) {
+	build := func(declOrder [][]string) []int {
+		p := NewPartialOrder()
+		for _, d := range declOrder {
+			if err := p.Declare(d...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return []int{p.Rank("A"), p.Rank("B"), p.Rank("X"), p.Rank("Y")}
+	}
+	r1 := build([][]string{{"A", "B"}, {"X", "Y"}})
+	r2 := build([][]string{{"X", "Y"}, {"A", "B"}})
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("ranks depend on declaration order: %v vs %v", r1, r2)
+		}
+	}
+}
+
+func TestUnknownNameGetsRank(t *testing.T) {
+	p := NewPartialOrder()
+	r1 := p.Rank("Solo")
+	r2 := p.Rank("Solo")
+	if r1 != r2 {
+		t.Error("rank must be stable")
+	}
+}
+
+func TestNamesSortedByRank(t *testing.T) {
+	p := NewPartialOrder()
+	if err := p.Declare("C", "B", "A"); err != nil {
+		t.Fatal(err)
+	}
+	names := p.Names()
+	if len(names) != 3 || names[0] != "C" || names[1] != "B" || names[2] != "A" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func estimateSchema(t *testing.T) *tuple.Schema {
+	t.Helper()
+	// table Estimate(int vertex, int distance) orderby (Int, seq distance, Estimate)
+	return tuple.MustSchema("Estimate",
+		[]tuple.Column{{Name: "vertex", Kind: tuple.KindInt}, {Name: "distance", Kind: tuple.KindInt}},
+		[]tuple.OrderEntry{tuple.Lit("Int"), tuple.Seq("distance"), tuple.Lit("Estimate")})
+}
+
+func TestKeyOfAndCompare(t *testing.T) {
+	p := NewPartialOrder()
+	if err := p.Declare("Estimate", "Done"); err != nil {
+		t.Fatal(err)
+	}
+	es := estimateSchema(t)
+	near := tuple.New(es, tuple.Int(1), tuple.Int(5))
+	far := tuple.New(es, tuple.Int(2), tuple.Int(9))
+	kNear, kFar := KeyOf(p, near), KeyOf(p, far)
+	if Compare(kNear, kFar) >= 0 {
+		t.Error("smaller distance must order first (Delta tree as Dijkstra PQ)")
+	}
+	if Compare(kNear, kNear) != 0 {
+		t.Error("key compares equal to itself")
+	}
+	if Compare(kFar, kNear) <= 0 {
+		t.Error("antisymmetry")
+	}
+}
+
+func TestKeyCompareAcrossTables(t *testing.T) {
+	p := NewPartialOrder()
+	if err := p.Declare("Estimate", "Done"); err != nil {
+		t.Fatal(err)
+	}
+	es := estimateSchema(t)
+	ds := tuple.MustSchema("Done",
+		[]tuple.Column{{Name: "vertex", Kind: tuple.KindInt, Key: true}, {Name: "distance", Kind: tuple.KindInt}},
+		[]tuple.OrderEntry{tuple.Lit("Int"), tuple.Seq("distance"), tuple.Lit("Done")})
+	est := tuple.New(es, tuple.Int(1), tuple.Int(5))
+	done := tuple.New(ds, tuple.Int(1), tuple.Int(5))
+	// Same Int level, same distance; Estimate < Done at level 3.
+	if Compare(KeyOf(p, est), KeyOf(p, done)) >= 0 {
+		t.Error("Estimate tuples must precede Done tuples at equal distance")
+	}
+	doneNearer := tuple.New(ds, tuple.Int(0), tuple.Int(3))
+	if Compare(KeyOf(p, doneNearer), KeyOf(p, est)) >= 0 {
+		t.Error("smaller distance dominates the literal level")
+	}
+}
+
+func TestKeyParEndsComparability(t *testing.T) {
+	p := NewPartialOrder()
+	s := tuple.MustSchema("T",
+		[]tuple.Column{{Name: "a", Kind: tuple.KindInt}, {Name: "b", Kind: tuple.KindInt}},
+		[]tuple.OrderEntry{tuple.Seq("a"), tuple.Par("b")})
+	t1 := tuple.New(s, tuple.Int(1), tuple.Int(10))
+	t2 := tuple.New(s, tuple.Int(1), tuple.Int(99))
+	t3 := tuple.New(s, tuple.Int(2), tuple.Int(0))
+	if Compare(KeyOf(p, t1), KeyOf(p, t2)) != 0 {
+		t.Error("tuples differing only in par field are one equivalence class")
+	}
+	if Compare(KeyOf(p, t1), KeyOf(p, t3)) >= 0 {
+		t.Error("seq level still orders before the par level")
+	}
+}
+
+func TestKeyPrefixEquivalence(t *testing.T) {
+	p := NewPartialOrder()
+	// Ship orderby (Int, seq frame): all Ships in one frame are equivalent.
+	s := tuple.MustSchema("Ship",
+		[]tuple.Column{{Name: "frame", Kind: tuple.KindInt}, {Name: "x", Kind: tuple.KindInt}},
+		[]tuple.OrderEntry{tuple.Lit("Int"), tuple.Seq("frame")})
+	a := tuple.New(s, tuple.Int(18), tuple.Int(10))
+	b := tuple.New(s, tuple.Int(18), tuple.Int(700))
+	if Compare(KeyOf(p, a), KeyOf(p, b)) != 0 {
+		t.Error("multiple Ships within one frame are equivalent (paper §5)")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	p := NewPartialOrder()
+	es := estimateSchema(t)
+	k := KeyOf(p, tuple.New(es, tuple.Int(1), tuple.Int(5)))
+	if k.String() != "[Int, 5, Estimate]" {
+		t.Errorf("Key.String() = %q", k.String())
+	}
+}

@@ -1,0 +1,155 @@
+// Package pvgen generates synthetic PVWatts-style datasets.
+//
+// The paper's PvWatts case study reads a 192 MB CSV produced by NREL's
+// PVWatts tool: 8,760,000 records of hourly solar output (year, month, day,
+// hour, power). That file is not redistributable, so we synthesise records
+// with the same schema and the two input orderings the paper benchmarks
+// (§6.3, Fig 10):
+//
+//   - Unsorted (the default export): ordered by year then month, so long
+//     runs of records hit the same per-month consumer — the skewed case.
+//   - Sorted: ordered by day-of-month then hour, so months round-robin and
+//     consumers load-balance — the paper's best case.
+//
+// Power values follow a deterministic diurnal curve with pseudo-random
+// cloud noise, so every run (and the baseline vs JStar comparison) sees
+// identical data.
+package pvgen
+
+import (
+	"bytes"
+	"strconv"
+
+	"github.com/jstar-lang/jstar/internal/rng"
+)
+
+// Record is one hourly observation.
+type Record struct {
+	Year, Month, Day int32
+	Hour             int32 // 0..23
+	Power            int32 // watts
+}
+
+// daysIn returns the day count of a month (fixed 365-day year: the paper's
+// dataset is hourly over whole years; leap handling is irrelevant noise).
+func daysIn(month int32) int32 {
+	switch month {
+	case 2:
+		return 28
+	case 4, 6, 9, 11:
+		return 30
+	default:
+		return 31
+	}
+}
+
+// power computes the synthetic watt output for one hour: a clamped diurnal
+// sine scaled by season, with multiplicative cloud noise.
+func power(r *rng.SplitMix64, month, day, hour int32) int32 {
+	// Daylight window 6..18 with noon peak.
+	if hour < 6 || hour > 18 {
+		return 0
+	}
+	x := int32(hour - 6) // 0..12
+	// Triangle approximation of the sun curve, peak 1000 at x=6 (noon).
+	base := 1000 - (x-6)*(x-6)*25
+	if base < 0 {
+		base = 0
+	}
+	// Seasonal factor: peak in June/July (northern-hemisphere shape).
+	seasonal := 60 + 40*seasonCurve(month) // percent
+	p := base * seasonal / 100
+	// Cloud noise: 50%..100% of clear-sky.
+	noise := 50 + int32(r.Intn(51))
+	return p * noise / 100
+}
+
+// seasonCurve maps month 1..12 to 0..100 with a mid-year hump.
+func seasonCurve(month int32) int32 {
+	d := month - 7
+	if d < 0 {
+		d = -d
+	}
+	return (6 - d) * 100 / 6 // 1 -> 0, 7 -> 100
+}
+
+// Generate produces years' worth of hourly records starting at startYear,
+// in the given ordering. Deterministic for a fixed seed.
+func Generate(startYear, years int, sorted bool, seed uint64) []Record {
+	r := rng.New(seed)
+	var out []Record
+	if sorted {
+		// Sorted by (day, hour) then (year, month): months round-robin.
+		for day := int32(1); day <= 31; day++ {
+			for hour := int32(0); hour < 24; hour++ {
+				for y := 0; y < years; y++ {
+					for m := int32(1); m <= 12; m++ {
+						if day > daysIn(m) {
+							continue
+						}
+						out = append(out, Record{
+							Year: int32(startYear + y), Month: m, Day: day, Hour: hour,
+							Power: power(r, m, day, hour),
+						})
+					}
+				}
+			}
+		}
+		return out
+	}
+	for y := 0; y < years; y++ {
+		for m := int32(1); m <= 12; m++ {
+			for day := int32(1); day <= daysIn(m); day++ {
+				for hour := int32(0); hour < 24; hour++ {
+					out = append(out, Record{
+						Year: int32(startYear + y), Month: m, Day: day, Hour: hour,
+						Power: power(r, m, day, hour),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RecordsPerYear is the number of hourly records in one synthetic year.
+const RecordsPerYear = 365 * 24
+
+// CSV renders records in the PVWatts export format:
+// year,month,day,hour,power — one line per record.
+func CSV(recs []Record) []byte {
+	var b bytes.Buffer
+	b.Grow(len(recs) * 24)
+	var tmp []byte
+	for _, r := range recs {
+		tmp = strconv.AppendInt(tmp[:0], int64(r.Year), 10)
+		tmp = append(tmp, ',')
+		tmp = strconv.AppendInt(tmp, int64(r.Month), 10)
+		tmp = append(tmp, ',')
+		tmp = strconv.AppendInt(tmp, int64(r.Day), 10)
+		tmp = append(tmp, ',')
+		tmp = strconv.AppendInt(tmp, int64(r.Hour), 10)
+		tmp = append(tmp, ',')
+		tmp = strconv.AppendInt(tmp, int64(r.Power), 10)
+		tmp = append(tmp, '\n')
+		b.Write(tmp)
+	}
+	return b.Bytes()
+}
+
+// MonthlyMeans computes the reference answer directly: mean power per
+// (year, month). Baselines and tests compare against this.
+func MonthlyMeans(recs []Record) map[[2]int32]float64 {
+	sums := make(map[[2]int32]int64)
+	counts := make(map[[2]int32]int64)
+	for _, r := range recs {
+		k := [2]int32{r.Year, r.Month}
+		sums[k] += int64(r.Power)
+		counts[k]++
+	}
+	out := make(map[[2]int32]float64, len(sums))
+	for k, s := range sums {
+		out[k] = float64(s) / float64(counts[k])
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package pvgen
+
+import (
+	"testing"
+
+	"github.com/jstar-lang/jstar/internal/fastcsv"
+)
+
+func TestGenerateCountAndDeterminism(t *testing.T) {
+	recs := Generate(2000, 1, false, 1)
+	if len(recs) != RecordsPerYear {
+		t.Fatalf("records = %d, want %d", len(recs), RecordsPerYear)
+	}
+	again := Generate(2000, 1, false, 1)
+	for i := range recs {
+		if recs[i] != again[i] {
+			t.Fatal("generation must be deterministic")
+		}
+	}
+}
+
+func TestGenerateFieldRanges(t *testing.T) {
+	for _, r := range Generate(2000, 1, false, 2) {
+		if r.Month < 1 || r.Month > 12 || r.Day < 1 || r.Day > 31 ||
+			r.Hour < 0 || r.Hour > 23 || r.Power < 0 {
+			t.Fatalf("bad record %+v", r)
+		}
+		if (r.Hour < 6 || r.Hour > 18) && r.Power != 0 {
+			t.Fatalf("night power: %+v", r)
+		}
+	}
+}
+
+func TestSortedOrderingRoundRobins(t *testing.T) {
+	// The sorted input must not have long same-month runs (that is the
+	// whole point: consumers round-robin, Fig 10's best case).
+	recs := Generate(2000, 1, true, 3)
+	if len(recs) != RecordsPerYear {
+		t.Fatalf("sorted records = %d", len(recs))
+	}
+	maxRun, run := 0, 0
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Month == recs[i-1].Month {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if maxRun > 2 {
+		t.Errorf("sorted input has a same-month run of %d", maxRun)
+	}
+	// The unsorted input has very long runs (a month of hours).
+	unsorted := Generate(2000, 1, false, 3)
+	maxRun, run = 0, 0
+	for i := 1; i < len(unsorted); i++ {
+		if unsorted[i].Month == unsorted[i-1].Month {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if maxRun < 24*28-1 {
+		t.Errorf("unsorted input same-month run only %d", maxRun)
+	}
+}
+
+func TestSortedAndUnsortedSameMultiset(t *testing.T) {
+	// Same (year,month) means regardless of ordering (values differ per
+	// record because the noise stream is consumed in a different order,
+	// but counts per month must match).
+	a := Generate(2000, 1, false, 4)
+	b := Generate(2000, 1, true, 4)
+	countA := map[[2]int32]int{}
+	countB := map[[2]int32]int{}
+	for _, r := range a {
+		countA[[2]int32{r.Year, r.Month}]++
+	}
+	for _, r := range b {
+		countB[[2]int32{r.Year, r.Month}]++
+	}
+	if len(countA) != 12 || len(countB) != 12 {
+		t.Fatalf("months: %d vs %d", len(countA), len(countB))
+	}
+	for k, v := range countA {
+		if countB[k] != v {
+			t.Errorf("month %v: %d vs %d records", k, v, countB[k])
+		}
+	}
+}
+
+func TestSeasonalShape(t *testing.T) {
+	means := MonthlyMeans(Generate(2000, 1, false, 5))
+	june := means[[2]int32{2000, 6}]
+	dec := means[[2]int32{2000, 12}]
+	if june <= dec {
+		t.Errorf("june mean %v must exceed december %v (seasonal curve)", june, dec)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := Generate(2000, 1, false, 6)[:1000]
+	buf := CSV(recs)
+	i := 0
+	err := fastcsv.ScanLines(buf, func(line []byte) error {
+		fields := fastcsv.SplitFields(line, nil)
+		if len(fields) != 5 {
+			t.Fatalf("line %d has %d fields", i, len(fields))
+		}
+		y, _ := fastcsv.ParseInt(fields[0])
+		m, _ := fastcsv.ParseInt(fields[1])
+		p, _ := fastcsv.ParseInt(fields[4])
+		if int32(y) != recs[i].Year || int32(m) != recs[i].Month || int32(p) != recs[i].Power {
+			t.Fatalf("line %d mismatch: %s vs %+v", i, line, recs[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 1000 {
+		t.Fatalf("scanned %d lines", i)
+	}
+}
+
+func TestMonthlyMeansReference(t *testing.T) {
+	recs := []Record{
+		{Year: 2000, Month: 1, Power: 10},
+		{Year: 2000, Month: 1, Power: 20},
+		{Year: 2000, Month: 2, Power: 50},
+	}
+	m := MonthlyMeans(recs)
+	if m[[2]int32{2000, 1}] != 15 || m[[2]int32{2000, 2}] != 50 {
+		t.Errorf("means = %v", m)
+	}
+}

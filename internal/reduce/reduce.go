@@ -1,0 +1,179 @@
+// Package reduce provides JStar's reduce and scan operators with
+// user-defined combining functions (paper §1.3). Reducers replace the
+// common uses of sequential loops: because JStar bans mutable variables,
+// a loop that accumulates must do so through a reducer object, whose
+// associativity lets the runtime split the loop across tasks and combine
+// partial results in a tree.
+package reduce
+
+import "math"
+
+// Reducer accumulates values of type T into a result R and can merge with
+// another reducer of the same kind (the tree-combine step).
+type Reducer[T, R any] interface {
+	Add(v T)
+	Merge(other Reducer[T, R])
+	Result() R
+	// Fresh returns a new empty reducer of the same kind, used to create
+	// per-task partials.
+	Fresh() Reducer[T, R]
+}
+
+// Statistics is the standard JStar reducer used by the PvWatts program:
+// count, sum, mean, min and max of a stream of float64 observations.
+type Statistics struct {
+	N    int64
+	Sum  float64
+	MinV float64
+	MaxV float64
+}
+
+// NewStatistics returns an empty Statistics reducer.
+func NewStatistics() *Statistics {
+	return &Statistics{MinV: math.Inf(1), MaxV: math.Inf(-1)}
+}
+
+// Add accumulates one observation (stats += record.power).
+func (s *Statistics) Add(v float64) {
+	s.N++
+	s.Sum += v
+	if v < s.MinV {
+		s.MinV = v
+	}
+	if v > s.MaxV {
+		s.MaxV = v
+	}
+}
+
+// Merge folds another Statistics into this one.
+func (s *Statistics) Merge(other Reducer[float64, *Statistics]) {
+	o := other.(*Statistics)
+	s.N += o.N
+	s.Sum += o.Sum
+	if o.MinV < s.MinV {
+		s.MinV = o.MinV
+	}
+	if o.MaxV > s.MaxV {
+		s.MaxV = o.MaxV
+	}
+}
+
+// Result returns the reducer itself (callers read Mean, Sum, ...).
+func (s *Statistics) Result() *Statistics { return s }
+
+// Fresh returns a new empty Statistics.
+func (s *Statistics) Fresh() Reducer[float64, *Statistics] { return NewStatistics() }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (s *Statistics) Mean() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.N)
+}
+
+// SumInt is a summation reducer over int64, used by the MatrixMult dot
+// product loop.
+type SumInt struct{ V int64 }
+
+// Add accumulates one term.
+func (s *SumInt) Add(v int64) { s.V += v }
+
+// Merge folds another SumInt into this one.
+func (s *SumInt) Merge(other Reducer[int64, int64]) { s.V += other.(*SumInt).V }
+
+// Result returns the sum.
+func (s *SumInt) Result() int64 { return s.V }
+
+// Fresh returns a new zero SumInt.
+func (s *SumInt) Fresh() Reducer[int64, int64] { return &SumInt{} }
+
+// MinInt keeps the minimum of a stream of int64 (identity: MaxInt64).
+type MinInt struct {
+	V    int64
+	Seen bool
+}
+
+// Add accumulates one value.
+func (m *MinInt) Add(v int64) {
+	if !m.Seen || v < m.V {
+		m.V, m.Seen = v, true
+	}
+}
+
+// Merge folds another MinInt into this one.
+func (m *MinInt) Merge(other Reducer[int64, int64]) {
+	o := other.(*MinInt)
+	if o.Seen {
+		m.Add(o.V)
+	}
+}
+
+// Result returns the minimum (MaxInt64 when empty).
+func (m *MinInt) Result() int64 {
+	if !m.Seen {
+		return math.MaxInt64
+	}
+	return m.V
+}
+
+// Fresh returns a new empty MinInt.
+func (m *MinInt) Fresh() Reducer[int64, int64] { return &MinInt{} }
+
+// MaxInt keeps the maximum of a stream of int64 (identity: MinInt64).
+type MaxInt struct {
+	V    int64
+	Seen bool
+}
+
+// Add accumulates one value.
+func (m *MaxInt) Add(v int64) {
+	if !m.Seen || v > m.V {
+		m.V, m.Seen = v, true
+	}
+}
+
+// Merge folds another MaxInt into this one.
+func (m *MaxInt) Merge(other Reducer[int64, int64]) {
+	o := other.(*MaxInt)
+	if o.Seen {
+		m.Add(o.V)
+	}
+}
+
+// Result returns the maximum (MinInt64 when empty).
+func (m *MaxInt) Result() int64 {
+	if !m.Seen {
+		return math.MinInt64
+	}
+	return m.V
+}
+
+// Fresh returns a new empty MaxInt.
+func (m *MaxInt) Fresh() Reducer[int64, int64] { return &MaxInt{} }
+
+// Fold is a generic user-defined-operator reducer built from an identity
+// and an associative combine function, the JStar "reduce operations with
+// user-defined operators".
+type Fold[T any] struct {
+	acc      T
+	identity T
+	op       func(a, b T) T
+}
+
+// NewFold returns a reducer folding with op from identity.
+func NewFold[T any](identity T, op func(a, b T) T) *Fold[T] {
+	return &Fold[T]{acc: identity, identity: identity, op: op}
+}
+
+// Add folds one value.
+func (f *Fold[T]) Add(v T) { f.acc = f.op(f.acc, v) }
+
+// Merge folds another Fold's accumulator into this one.
+func (f *Fold[T]) Merge(other Reducer[T, T]) { f.acc = f.op(f.acc, other.(*Fold[T]).acc) }
+
+// Result returns the accumulator.
+func (f *Fold[T]) Result() T { return f.acc }
+
+// Fresh returns a new empty Fold with the same operator.
+func (f *Fold[T]) Fresh() Reducer[T, T] { return NewFold(f.identity, f.op) }

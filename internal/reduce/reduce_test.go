@@ -1,0 +1,145 @@
+package reduce
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStatisticsBasic(t *testing.T) {
+	s := NewStatistics()
+	if !math.IsNaN(s.Mean()) {
+		t.Error("empty mean must be NaN")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.N != 4 || s.Sum != 10 || s.Mean() != 2.5 || s.MinV != 1 || s.MaxV != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Result() != s {
+		t.Error("Result must return the reducer")
+	}
+}
+
+func TestStatisticsMergeEqualsSequential(t *testing.T) {
+	// Tree-merge must give the same result as one sequential pass —
+	// the property that lets JStar parallelise reducer loops (§5.2).
+	f := func(xs, ys []float64) bool {
+		clean := func(vs []float64) []float64 {
+			out := vs[:0]
+			for _, v := range vs {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					// Fold huge magnitudes into a moderate range: float
+					// addition is only approximately associative, and the
+					// split/merge tolerance below assumes no catastrophic
+					// cancellation (power readings are small positives).
+					out = append(out, math.Mod(v, 1e6))
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		all := NewStatistics()
+		for _, v := range append(append([]float64{}, xs...), ys...) {
+			all.Add(v)
+		}
+		a, b := NewStatistics(), NewStatistics()
+		for _, v := range xs {
+			a.Add(v)
+		}
+		for _, v := range ys {
+			b.Add(v)
+		}
+		a.Merge(b)
+		if a.N != all.N || a.MinV != all.MinV || a.MaxV != all.MaxV {
+			return false
+		}
+		return math.Abs(a.Sum-all.Sum) < 1e-9*(1+math.Abs(all.Sum))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatisticsFresh(t *testing.T) {
+	s := NewStatistics()
+	s.Add(5)
+	f := s.Fresh().(*Statistics)
+	if f.N != 0 {
+		t.Error("Fresh must be empty")
+	}
+}
+
+func TestSumInt(t *testing.T) {
+	s := &SumInt{}
+	s.Add(3)
+	s.Add(4)
+	o := s.Fresh().(*SumInt)
+	o.Add(10)
+	s.Merge(o)
+	if s.Result() != 17 {
+		t.Errorf("sum = %d", s.Result())
+	}
+}
+
+func TestMinMaxInt(t *testing.T) {
+	mn, mx := &MinInt{}, &MaxInt{}
+	if mn.Result() != math.MaxInt64 || mx.Result() != math.MinInt64 {
+		t.Error("empty identities")
+	}
+	for _, v := range []int64{5, -2, 9} {
+		mn.Add(v)
+		mx.Add(v)
+	}
+	if mn.Result() != -2 || mx.Result() != 9 {
+		t.Errorf("min=%d max=%d", mn.Result(), mx.Result())
+	}
+	// Merging an empty reducer is a no-op.
+	mn.Merge(mn.Fresh())
+	mx.Merge(mx.Fresh())
+	if mn.Result() != -2 || mx.Result() != 9 {
+		t.Error("merge with empty changed result")
+	}
+	o := &MinInt{}
+	o.Add(-100)
+	mn.Merge(o)
+	if mn.Result() != -100 {
+		t.Error("merge min")
+	}
+	o2 := &MaxInt{}
+	o2.Add(100)
+	mx.Merge(o2)
+	if mx.Result() != 100 {
+		t.Error("merge max")
+	}
+}
+
+func TestFoldUserDefinedOperator(t *testing.T) {
+	// gcd as a user-defined reduce operator.
+	gcd := func(a, b int64) int64 {
+		for b != 0 {
+			a, b = b, a%b
+		}
+		if a < 0 {
+			return -a
+		}
+		return a
+	}
+	f := NewFold(int64(0), gcd)
+	for _, v := range []int64{12, 18, 30} {
+		f.Add(v)
+	}
+	if f.Result() != 6 {
+		t.Errorf("gcd fold = %d", f.Result())
+	}
+	g := f.Fresh().(*Fold[int64])
+	if g.Result() != 0 {
+		t.Error("fresh fold must hold identity")
+	}
+	g.Add(9)
+	f.Merge(g)
+	if f.Result() != 3 {
+		t.Errorf("merged gcd = %d", f.Result())
+	}
+}

@@ -1,0 +1,84 @@
+// Package rng provides a splittable pseudo-random number generator
+// (SplitMix64). The paper notes (§8 fn 15) that parallelising the random
+// graph creation loop requires parallel random number generators: each of
+// the 24 graph-generation tasks needs an independent, deterministic stream.
+// SplitMix64 gives exactly that — split children are statistically
+// independent and the whole program stays reproducible from one seed.
+package rng
+
+// SplitMix64 is a 64-bit splittable PRNG. The zero value is a valid
+// generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+	gamma uint64
+}
+
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// New returns a generator with the default stream constant.
+func New(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed, gamma: goldenGamma}
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	return z ^ (z >> 33)
+}
+
+func mixGamma(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z = z ^ (z >> 31)
+	z |= 1 // gammas must be odd
+	// Require enough bit transitions; fix up weak gammas (Steele et al.).
+	if popcount(z^(z>>1)) < 24 {
+		z ^= 0xaaaaaaaaaaaaaaaa
+	}
+	return z
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *SplitMix64) Uint64() uint64 {
+	r.state += r.gamma
+	return mix64(r.state)
+}
+
+// Split returns a new generator whose stream is independent of the parent's
+// subsequent output — hand one to each parallel task.
+func (r *SplitMix64) Split() *SplitMix64 {
+	return &SplitMix64{state: r.Uint64(), gamma: mixGamma(r.Uint64())}
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *SplitMix64) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	// Rejection sampling to remove modulo bias.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int64(v % max)
+		}
+	}
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *SplitMix64) Intn(n int) int { return int(r.Int63n(int64(n))) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *SplitMix64) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

@@ -1,0 +1,61 @@
+package skiplist
+
+// Entry is a key/value pair stored in a Map.
+type Entry[K, V any] struct {
+	Key K
+	Val V
+}
+
+// Map is a concurrent sorted map built on List — the analogue of Java's
+// ConcurrentSkipListMap<K,V> used for the Seq levels of the parallel Delta
+// tree. Values are set once at key creation (GetOrCreate); JStar never
+// overwrites a subtree, it only inserts into it.
+type Map[K, V any] struct {
+	list *List[Entry[K, V]]
+}
+
+// NewMap returns an empty concurrent map ordered by cmp over keys.
+func NewMap[K, V any](cmp func(a, b K) int) *Map[K, V] {
+	return &Map[K, V]{
+		list: New(func(a, b Entry[K, V]) int { return cmp(a.Key, b.Key) }),
+	}
+}
+
+// Len returns the number of entries.
+func (m *Map[K, V]) Len() int { return m.list.Len() }
+
+// GetOrCreate returns the value for key, invoking mk to create it if absent.
+// Exactly one value survives per key even under races; losers' values are
+// discarded (mk must be side-effect free until published).
+func (m *Map[K, V]) GetOrCreate(key K, mk func() V) V {
+	var zero V
+	if e, ok := m.list.GetEqual(Entry[K, V]{Key: key, Val: zero}); ok {
+		return e.Val
+	}
+	e, _ := m.list.GetOrInsert(Entry[K, V]{Key: key, Val: mk()})
+	return e.Val
+}
+
+// Get returns the value for key, if present.
+func (m *Map[K, V]) Get(key K) (V, bool) {
+	var zero V
+	e, ok := m.list.GetEqual(Entry[K, V]{Key: key, Val: zero})
+	return e.Val, ok
+}
+
+// Min returns the entry with the smallest key.
+func (m *Map[K, V]) Min() (K, V, bool) {
+	e, ok := m.list.Min()
+	return e.Key, e.Val, ok
+}
+
+// Delete removes the entry for key; reports whether removed.
+func (m *Map[K, V]) Delete(key K) bool {
+	var zero V
+	return m.list.Delete(Entry[K, V]{Key: key, Val: zero})
+}
+
+// Ascend visits entries in ascending key order until fn returns false.
+func (m *Map[K, V]) Ascend(fn func(K, V) bool) {
+	m.list.Ascend(func(e Entry[K, V]) bool { return fn(e.Key, e.Val) })
+}

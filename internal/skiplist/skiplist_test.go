@@ -1,0 +1,392 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func intList() *List[int] {
+	return New(func(a, b int) int { return a - b })
+}
+
+func TestInsertContainsSequential(t *testing.T) {
+	l := intList()
+	for _, v := range []int{5, 3, 8, 1} {
+		if !l.Insert(v) {
+			t.Errorf("Insert(%d) on fresh value", v)
+		}
+	}
+	if l.Insert(5) {
+		t.Error("duplicate insert must fail")
+	}
+	if l.Len() != 4 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	for _, v := range []int{1, 3, 5, 8} {
+		if !l.Contains(v) {
+			t.Errorf("Contains(%d)", v)
+		}
+	}
+	if l.Contains(2) {
+		t.Error("Contains(2)")
+	}
+}
+
+func TestMinDeleteMin(t *testing.T) {
+	l := intList()
+	if _, ok := l.Min(); ok {
+		t.Error("Min on empty")
+	}
+	if _, ok := l.DeleteMin(); ok {
+		t.Error("DeleteMin on empty")
+	}
+	for _, v := range []int{5, 3, 8} {
+		l.Insert(v)
+	}
+	if m, _ := l.Min(); m != 3 {
+		t.Errorf("Min = %d", m)
+	}
+	got := make([]int, 0, 3)
+	for {
+		m, ok := l.DeleteMin()
+		if !ok {
+			break
+		}
+		got = append(got, m)
+	}
+	if len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 8 {
+		t.Errorf("drain order = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	l := intList()
+	for i := 0; i < 50; i++ {
+		l.Insert(i)
+	}
+	if l.Delete(100) {
+		t.Error("delete absent")
+	}
+	for i := 0; i < 50; i += 2 {
+		if !l.Delete(i) {
+			t.Errorf("Delete(%d)", i)
+		}
+	}
+	if l.Len() != 25 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	for i := 0; i < 50; i++ {
+		if l.Contains(i) != (i%2 == 1) {
+			t.Errorf("Contains(%d) wrong after deletes", i)
+		}
+	}
+}
+
+func TestAscendSorted(t *testing.T) {
+	l := intList()
+	perm := rand.New(rand.NewSource(7)).Perm(2000)
+	for _, v := range perm {
+		l.Insert(v)
+	}
+	var got []int
+	l.Ascend(func(v int) bool { got = append(got, v); return true })
+	if len(got) != 2000 || !sort.IntsAreSorted(got) {
+		t.Error("Ascend must be sorted and complete")
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	l := intList()
+	for i := 0; i < 100; i += 10 {
+		l.Insert(i)
+	}
+	var got []int
+	l.AscendFrom(35, func(v int) bool { got = append(got, v); return true })
+	if len(got) != 6 || got[0] != 40 {
+		t.Errorf("AscendFrom(35) = %v", got)
+	}
+	got = got[:0]
+	l.AscendFrom(40, func(v int) bool { got = append(got, v); return true })
+	if len(got) != 6 || got[0] != 40 {
+		t.Errorf("AscendFrom(40) = %v (must be inclusive)", got)
+	}
+}
+
+func TestGetOrInsertReturnsExisting(t *testing.T) {
+	type box struct {
+		k int
+		p *int
+	}
+	l := New(func(a, b box) int { return a.k - b.k })
+	x, y := 1, 2
+	first, added := l.GetOrInsert(box{1, &x})
+	if !added || first.p != &x {
+		t.Error("first GetOrInsert should insert")
+	}
+	second, added := l.GetOrInsert(box{1, &y})
+	if added || second.p != &x {
+		t.Error("second GetOrInsert must return the stored element")
+	}
+}
+
+func TestClear(t *testing.T) {
+	l := intList()
+	for i := 0; i < 10; i++ {
+		l.Insert(i)
+	}
+	l.Clear()
+	if l.Len() != 0 || l.Contains(3) {
+		t.Error("Clear")
+	}
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	l := intList()
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Insert(w*per + i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", l.Len(), workers*per)
+	}
+	var got []int
+	l.Ascend(func(v int) bool { got = append(got, v); return true })
+	if len(got) != workers*per || !sort.IntsAreSorted(got) {
+		t.Error("traversal after concurrent inserts must be sorted and complete")
+	}
+}
+
+func TestConcurrentDuplicateInserts(t *testing.T) {
+	// All workers insert the same keys; exactly one insert per key must win.
+	l := intList()
+	const workers = 8
+	const keys = 1000
+	wins := make([][]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wins[w] = make([]bool, keys)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				wins[w][i] = l.Insert(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != keys {
+		t.Fatalf("Len = %d, want %d", l.Len(), keys)
+	}
+	for i := 0; i < keys; i++ {
+		n := 0
+		for w := 0; w < workers; w++ {
+			if wins[w][i] {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("key %d won %d times, want exactly 1", i, n)
+		}
+	}
+}
+
+func TestConcurrentInsertDelete(t *testing.T) {
+	l := intList()
+	for i := 0; i < 10000; i += 2 {
+		l.Insert(i)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // inserter: odd keys
+		defer wg.Done()
+		for i := 1; i < 10000; i += 2 {
+			l.Insert(i)
+		}
+	}()
+	go func() { // deleter: even keys
+		defer wg.Done()
+		for i := 0; i < 10000; i += 2 {
+			l.Delete(i)
+		}
+	}()
+	wg.Wait()
+	if l.Len() != 5000 {
+		t.Fatalf("Len = %d, want 5000", l.Len())
+	}
+	for i := 0; i < 10000; i++ {
+		if l.Contains(i) != (i%2 == 1) {
+			t.Fatalf("Contains(%d) wrong", i)
+		}
+	}
+}
+
+func TestConcurrentDeleteMinDrain(t *testing.T) {
+	// Concurrent DeleteMin consumers must partition the elements.
+	l := intList()
+	const n = 8000
+	for i := 0; i < n; i++ {
+		l.Insert(i)
+	}
+	const workers = 8
+	results := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				v, ok := l.DeleteMin()
+				if !ok {
+					return
+				}
+				results[w] = append(results[w], v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make([]bool, n)
+	total := 0
+	for _, rs := range results {
+		for _, v := range rs {
+			if seen[v] {
+				t.Fatalf("value %d extracted twice", v)
+			}
+			seen[v] = true
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("extracted %d values, want %d", total, n)
+	}
+}
+
+func TestSequentialMatchesReference(t *testing.T) {
+	l := intList()
+	ref := make(map[int]bool)
+	r := rand.New(rand.NewSource(99))
+	for op := 0; op < 20000; op++ {
+		v := r.Intn(200)
+		switch r.Intn(3) {
+		case 0:
+			if l.Insert(v) == ref[v] {
+				t.Fatalf("Insert(%d) disagreed", v)
+			}
+			ref[v] = true
+		case 1:
+			if l.Delete(v) != ref[v] {
+				t.Fatalf("Delete(%d) disagreed", v)
+			}
+			delete(ref, v)
+		default:
+			if l.Contains(v) != ref[v] {
+				t.Fatalf("Contains(%d) disagreed", v)
+			}
+		}
+	}
+}
+
+func TestQuickAscendIsSortedUnique(t *testing.T) {
+	f := func(xs []int16) bool {
+		l := intList()
+		uniq := make(map[int]bool)
+		for _, x := range xs {
+			l.Insert(int(x))
+			uniq[int(x)] = true
+		}
+		var got []int
+		l.Ascend(func(v int) bool { got = append(got, v); return true })
+		return len(got) == len(uniq) && sort.IntsAreSorted(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap[int, string](func(a, b int) int { return a - b })
+	if _, ok := m.Get(1); ok {
+		t.Error("Get on empty")
+	}
+	v := m.GetOrCreate(1, func() string { return "one" })
+	if v != "one" {
+		t.Error("GetOrCreate create")
+	}
+	v = m.GetOrCreate(1, func() string { return "other" })
+	if v != "one" {
+		t.Error("GetOrCreate must return existing")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	m.GetOrCreate(0, func() string { return "zero" })
+	k, val, ok := m.Min()
+	if !ok || k != 0 || val != "zero" {
+		t.Errorf("Min = %d %q %v", k, val, ok)
+	}
+	if !m.Delete(0) || m.Delete(0) {
+		t.Error("Delete semantics")
+	}
+	var keys []int
+	m.Ascend(func(k int, _ string) bool { keys = append(keys, k); return true })
+	if len(keys) != 1 || keys[0] != 1 {
+		t.Errorf("Ascend keys = %v", keys)
+	}
+}
+
+func TestMapConcurrentGetOrCreate(t *testing.T) {
+	m := NewMap[int, *int](func(a, b int) int { return a - b })
+	const workers = 8
+	ptrs := make([]*int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ptrs[w] = m.GetOrCreate(7, func() *int { x := w; return &x })
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if ptrs[w] != ptrs[0] {
+			t.Fatal("GetOrCreate must converge on a single value per key")
+		}
+	}
+}
+
+func BenchmarkSkipListInsert(b *testing.B) {
+	l := intList()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			l.Insert(i * 2654435761 % (1 << 30))
+			i++
+		}
+	})
+}
+
+func BenchmarkSkipListContains(b *testing.B) {
+	l := intList()
+	for i := 0; i < 1<<16; i++ {
+		l.Insert(i)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			l.Contains(i & (1<<16 - 1))
+			i++
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is one immutable row of a relation. The fields slice is owned by the
+// tuple and must never be mutated after construction; the builder API and
+// Copy make this convenient (paper §3: tuples are immutable Java objects).
+type Tuple struct {
+	schema *Schema
+	fields []Value
+	hash   uint64 // precomputed identity hash over schema name + fields
+}
+
+// New constructs a tuple with positional field values. It panics if the
+// arity or a field kind does not match the schema, mirroring the type errors
+// the JStar compiler would reject statically.
+func New(s *Schema, fields ...Value) *Tuple {
+	if len(fields) != len(s.Columns) {
+		panic(fmt.Sprintf("jstar: new %s: got %d fields, want %d", s.Name, len(fields), len(s.Columns)))
+	}
+	fs := make([]Value, len(fields))
+	copy(fs, fields)
+	for i, v := range fs {
+		if !v.Valid() {
+			fs[i] = Zero(s.Columns[i].Kind)
+			continue
+		}
+		if v.Kind() != s.Columns[i].Kind {
+			// Permit int literals in float columns (Java widening).
+			if v.Kind() == KindInt && s.Columns[i].Kind == KindFloat {
+				fs[i] = Float(float64(v.AsInt()))
+				continue
+			}
+			panic(fmt.Sprintf("jstar: new %s: field %s is %v, want %v",
+				s.Name, s.Columns[i].Name, v.Kind(), s.Columns[i].Kind))
+		}
+	}
+	t := &Tuple{schema: s, fields: fs}
+	t.hash = t.computeHash()
+	return t
+}
+
+func (t *Tuple) computeHash() uint64 {
+	h := HashSeed
+	for i := 0; i < len(t.schema.Name); i++ {
+		h = hashByte(h, t.schema.Name[i])
+	}
+	for _, v := range t.fields {
+		h = v.Hash(h)
+	}
+	return h
+}
+
+// Schema returns the tuple's relation schema.
+func (t *Tuple) Schema() *Schema { return t.schema }
+
+// Field returns the value at column position i.
+func (t *Tuple) Field(i int) Value { return t.fields[i] }
+
+// Get returns the value of the named column; it panics on unknown names
+// (a static error in real JStar).
+func (t *Tuple) Get(name string) Value {
+	i := t.schema.ColumnIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("jstar: table %s has no column %q", t.schema.Name, name))
+	}
+	return t.fields[i]
+}
+
+// Int is shorthand for Get(name).AsInt().
+func (t *Tuple) Int(name string) int64 { return t.Get(name).AsInt() }
+
+// Float is shorthand for Get(name).AsFloat().
+func (t *Tuple) Float(name string) float64 { return t.Get(name).AsFloat() }
+
+// Str is shorthand for Get(name).AsString().
+func (t *Tuple) Str(name string) string { return t.Get(name).AsString() }
+
+// Hash returns the precomputed identity hash (schema + all fields).
+func (t *Tuple) Hash() uint64 { return t.hash }
+
+// Equal reports whether two tuples are identical rows of the same relation.
+// JStar has set-oriented semantics, so duplicates (by Equal) are discarded
+// when inserted into the Delta set or a Gamma table.
+func (t *Tuple) Equal(o *Tuple) bool {
+	if t == o {
+		return true
+	}
+	if o == nil || t.schema != o.schema || t.hash != o.hash {
+		return false
+	}
+	for i := range t.fields {
+		if !t.fields[i].Equal(o.fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareFields orders tuples by their fields left to right; a tuple whose
+// fields are a strict prefix of another's sorts first. Used as the total
+// order inside NavigableSet Gamma stores, where schema-less probe tuples
+// (NewRaw) carry only a query's equality prefix.
+func (t *Tuple) CompareFields(o *Tuple) int {
+	n := len(t.fields)
+	if len(o.fields) < n {
+		n = len(o.fields)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(t.fields[i], o.fields[i]); c != 0 {
+			return c
+		}
+	}
+	return len(t.fields) - len(o.fields)
+}
+
+// NewRaw builds a schema-less probe tuple holding just the given fields.
+// Probes exist only to position range scans inside ordered stores — they
+// must never be inserted into tables (Schema() is nil).
+func NewRaw(fields []Value) *Tuple {
+	fs := make([]Value, len(fields))
+	copy(fs, fields)
+	h := HashSeed
+	for _, v := range fs {
+		h = v.Hash(h)
+	}
+	return &Tuple{fields: fs, hash: h}
+}
+
+// KeyEqual reports whether two tuples agree on the primary-key columns.
+func (t *Tuple) KeyEqual(o *Tuple) bool {
+	if t.schema != o.schema {
+		return false
+	}
+	for _, i := range t.schema.keyCols {
+		if !t.fields[i].Equal(o.fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as Name(v1, v2, ...).
+func (t *Tuple) String() string {
+	var b strings.Builder
+	b.WriteString(t.schema.Name)
+	b.WriteByte('(')
+	for i, v := range t.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Builder accumulates field values by name and produces an immutable Tuple,
+// mirroring the generated builder classes of JStar ("by name" construction
+// and the copy method, paper §3).
+type Builder struct {
+	schema *Schema
+	fields []Value
+}
+
+// NewBuilder returns a builder with all fields defaulted to their zero
+// values ("use default values for frame and dy").
+func NewBuilder(s *Schema) *Builder {
+	b := &Builder{schema: s, fields: make([]Value, len(s.Columns))}
+	for i, c := range s.Columns {
+		b.fields[i] = Zero(c.Kind)
+	}
+	return b
+}
+
+// CopyOf returns a builder pre-populated from an existing tuple, so a rule
+// can "update a few fields and create a new tuple".
+func CopyOf(t *Tuple) *Builder {
+	b := &Builder{schema: t.schema, fields: make([]Value, len(t.fields))}
+	copy(b.fields, t.fields)
+	return b
+}
+
+// Set assigns a field by name and returns the builder for chaining.
+func (b *Builder) Set(name string, v Value) *Builder {
+	i := b.schema.ColumnIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("jstar: table %s has no column %q", b.schema.Name, name))
+	}
+	b.fields[i] = v
+	return b
+}
+
+// SetInt assigns an int field by name.
+func (b *Builder) SetInt(name string, v int64) *Builder { return b.Set(name, Int(v)) }
+
+// SetFloat assigns a float field by name.
+func (b *Builder) SetFloat(name string, v float64) *Builder { return b.Set(name, Float(v)) }
+
+// SetString assigns a string field by name.
+func (b *Builder) SetString(name string, v string) *Builder { return b.Set(name, String_(v)) }
+
+// SetBool assigns a bool field by name.
+func (b *Builder) SetBool(name string, v bool) *Builder { return b.Set(name, Bool(v)) }
+
+// Build produces the immutable tuple.
+func (b *Builder) Build() *Tuple { return New(b.schema, b.fields...) }

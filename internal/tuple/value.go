@@ -1,0 +1,264 @@
+// Package tuple defines the immutable data model of JStar: typed Values,
+// relation Schemas with orderby lists, and Tuples (immutable rows).
+//
+// Everything a JStar program computes is a tuple in some relation. Tuples are
+// never mutated after construction; "updating" data means putting a new tuple
+// with a later timestamp (see the law of causality, paper §4).
+package tuple
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the primitive column types supported by JStar relations.
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+	KindInt          // 64-bit signed integer
+	KindFloat        // 64-bit IEEE float
+	KindString       // immutable string
+	KindBool         // boolean
+)
+
+// String returns the JStar surface-syntax name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "double"
+	case KindString:
+		return "String"
+	case KindBool:
+		return "boolean"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is an immutable tagged union holding one column value.
+// The zero Value has KindInvalid and compares before every valid value.
+type Value struct {
+	kind Kind
+	i    int64 // int, bool (0/1)
+	f    float64
+	s    string
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point Value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string Value. (Named with a trailing underscore because
+// String is reserved for fmt.Stringer.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean Value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind reports the dynamic type of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// AsInt returns the integer payload. It panics if the value is not an int,
+// mirroring a failed cast in the generated Java code.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("jstar: value %v is not int", v))
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload, widening ints (JStar follows Java's
+// implicit numeric widening in expressions).
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic(fmt.Sprintf("jstar: value %v is not numeric", v))
+}
+
+// AsString returns the string payload; it panics for non-strings.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("jstar: value %v is not String", v))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload; it panics for non-booleans.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("jstar: value %v is not boolean", v))
+	}
+	return v.i != 0
+}
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Valid reports whether the value holds a real payload.
+func (v Value) Valid() bool { return v.kind != KindInvalid }
+
+// Compare orders two values. Invalid < everything; mixed numeric kinds are
+// compared numerically (int widened to float); otherwise kinds must match.
+// Bools order false < true. NaN sorts before all other floats so that
+// ordering is total (required by the Delta tree and NavigableSet stores).
+func Compare(a, b Value) int {
+	if a.kind == KindInvalid || b.kind == KindInvalid {
+		return int(boolToInt(a.kind != KindInvalid)) - int(boolToInt(b.kind != KindInvalid))
+	}
+	if a.IsNumeric() && b.IsNumeric() && a.kind != b.kind {
+		return compareFloat(a.AsFloat(), b.AsFloat())
+	}
+	if a.kind != b.kind {
+		// Total order across kinds: by kind tag. Heterogeneous comparisons
+		// only arise in the Delta tree when distinct tables share a level.
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindInt, KindBool:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		return compareFloat(a.f, b.f)
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func compareFloat(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func boolToInt(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Equal reports exact equality (same kind, same payload). Unlike Compare it
+// never treats an int and float as equal, so tuple dedup is exact.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindString:
+		return v.s == o.s
+	case KindFloat:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	default:
+		return v.i == o.i
+	}
+}
+
+// Hash folds the value into an FNV-1a style 64-bit hash seed.
+func (v Value) Hash(h uint64) uint64 {
+	h = hashByte(h, byte(v.kind))
+	switch v.kind {
+	case KindString:
+		for i := 0; i < len(v.s); i++ {
+			h = hashByte(h, v.s[i])
+		}
+	case KindFloat:
+		bits := math.Float64bits(v.f)
+		for i := 0; i < 8; i++ {
+			h = hashByte(h, byte(bits>>(8*i)))
+		}
+	default:
+		u := uint64(v.i)
+		for i := 0; i < 8; i++ {
+			h = hashByte(h, byte(u>>(8*i)))
+		}
+	}
+	return h
+}
+
+const (
+	fnvOffset = 1469598103934665603
+	fnvPrime  = 1099511628211
+)
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+// HashSeed is the initial seed for Value.Hash chains.
+const HashSeed uint64 = fnvOffset
+
+// String renders the value in JStar literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "<invalid>"
+	}
+}
+
+// Zero returns the default value for a kind, used when a builder omits a
+// field ("use default values for frame and dy", paper §3).
+func Zero(k Kind) Value {
+	switch k {
+	case KindInt:
+		return Int(0)
+	case KindFloat:
+		return Float(0)
+	case KindString:
+		return String_("")
+	case KindBool:
+		return Bool(false)
+	default:
+		return Value{}
+	}
+}

@@ -1,0 +1,171 @@
+// Package jstar is the public API of the Go implementation of JStar — the
+// declarative, implicitly parallel, Datalog-with-causality language of
+// Utting, Weng and Cleary ("The JStar Language Philosophy", Univ. of
+// Waikato WP 06/2013).
+//
+// A JStar program stores all data in immutable in-memory relations. Rules
+// fire once for each tuple of their trigger table, query the database, and
+// put new tuples — whose timestamps must not precede the trigger's (the law
+// of causality). Execution is bottom-up and parallel by default: each step
+// extracts the minimal causal equivalence class from the Delta tree and
+// fires all its rules concurrently on a work-stealing pool.
+//
+// Quickstart (the paper's §3 Ship example):
+//
+//	p := jstar.NewProgram()
+//	ship := p.Table("Ship",
+//		jstar.Cols(jstar.KeyInt("frame"), jstar.IntCol("x"), jstar.IntCol("y"),
+//			jstar.IntCol("dx"), jstar.IntCol("dy")),
+//		jstar.OrderBy(jstar.Lit("Int"), jstar.Seq("frame")))
+//	p.Rule("moveRight", ship, func(c *jstar.Ctx, s *jstar.Tuple) {
+//		if s.Int("x") < 400 {
+//			c.PutNew(ship, jstar.Int(s.Int("frame")+1), jstar.Int(s.Int("x")+150),
+//				s.Get("y"), s.Get("dx"), s.Get("dy"))
+//		}
+//	})
+//	p.Put(jstar.New(ship, jstar.Int(0), jstar.Int(10), jstar.Int(10),
+//		jstar.Int(150), jstar.Int(0)))
+//	run, err := p.Execute(jstar.Options{})
+//
+// Parallelism strategy and data-structure choices are runtime options, not
+// program changes: Options.Sequential, Options.Threads, Options.NoDelta,
+// Options.NoGamma, and Program.GammaHint correspond to the paper's compiler
+// flags (-sequential, --threads, -noDelta T, -noGamma T, custom stores).
+package jstar
+
+import (
+	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/gamma"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Program is a JStar program definition: tables, orders, rules, puts.
+	Program = core.Program
+	// Options are the per-run compiler/runtime flags.
+	Options = core.Options
+	// Ctx is the database view passed to executing rules.
+	Ctx = core.Ctx
+	// Rule is a registered computation rule.
+	Rule = core.Rule
+	// Run is one execution of a program.
+	Run = core.Run
+	// RunStats carries the per-run usage statistics.
+	RunStats = core.RunStats
+
+	// Tuple is an immutable relation row.
+	Tuple = tuple.Tuple
+	// Value is a typed column value.
+	Value = tuple.Value
+	// Schema describes a declared table.
+	Schema = tuple.Schema
+	// Column describes one table column.
+	Column = tuple.Column
+	// OrderEntry is one component of a table's orderby list.
+	OrderEntry = tuple.OrderEntry
+	// Builder constructs tuples field by field.
+	Builder = tuple.Builder
+
+	// Query selects tuples: an equality prefix plus a residual predicate.
+	Query = gamma.Query
+	// Store is a Gamma table's storage.
+	Store = gamma.Store
+	// StoreFactory builds a Store for a schema (a data-structure hint).
+	StoreFactory = gamma.StoreFactory
+)
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return core.NewProgram() }
+
+// Value constructors.
+var (
+	// Int makes an int Value.
+	Int = tuple.Int
+	// Float makes a double Value.
+	Float = tuple.Float
+	// Str makes a String Value.
+	Str = tuple.String_
+	// Bool makes a boolean Value.
+	Bool = tuple.Bool
+)
+
+// New constructs a tuple positionally (panics on schema mismatch).
+func New(s *Schema, fields ...Value) *Tuple { return tuple.New(s, fields...) }
+
+// NewBuilder returns a field-by-field tuple builder with zero defaults.
+func NewBuilder(s *Schema) *Builder { return tuple.NewBuilder(s) }
+
+// CopyOf returns a builder seeded from an existing tuple (the generated
+// copy method: update a few fields, build a new immutable tuple).
+func CopyOf(t *Tuple) *Builder { return tuple.CopyOf(t) }
+
+// Column constructors.
+
+// IntCol declares an int column.
+func IntCol(name string) Column { return Column{Name: name, Kind: tuple.KindInt} }
+
+// FloatCol declares a double column.
+func FloatCol(name string) Column { return Column{Name: name, Kind: tuple.KindFloat} }
+
+// StrCol declares a String column.
+func StrCol(name string) Column { return Column{Name: name, Kind: tuple.KindString} }
+
+// BoolCol declares a boolean column.
+func BoolCol(name string) Column { return Column{Name: name, Kind: tuple.KindBool} }
+
+// KeyInt declares an int primary-key column (left of `->`).
+func KeyInt(name string) Column { return Column{Name: name, Kind: tuple.KindInt, Key: true} }
+
+// KeyStr declares a String primary-key column.
+func KeyStr(name string) Column { return Column{Name: name, Kind: tuple.KindString, Key: true} }
+
+// Cols collects columns (reads like the parenthesised declaration list).
+func Cols(cs ...Column) []Column { return cs }
+
+// OrderBy collects orderby entries.
+func OrderBy(es ...OrderEntry) []OrderEntry { return es }
+
+// Orderby entry constructors.
+var (
+	// Lit is a literal orderby entry, ordered by `order` declarations.
+	Lit = tuple.Lit
+	// Seq is a `seq field` entry: sorted sequentially by the field.
+	Seq = tuple.Seq
+	// Par is a `par field` entry: unordered, parallel subtrees.
+	Par = tuple.Par
+)
+
+// Eq builds a Query matching an equality prefix of column values.
+func Eq(prefix ...Value) Query { return Query{Prefix: prefix} }
+
+// Where builds a Query with an equality prefix and residual predicate —
+// the `[lambda]` part of a JStar query.
+func Where(pred func(*Tuple) bool, prefix ...Value) Query {
+	return Query{Prefix: prefix, Where: pred}
+}
+
+// Gamma data-structure hints (paper stage 4).
+var (
+	// TreeStore is the sequential NavigableSet default (TreeSet).
+	TreeStore StoreFactory = gamma.NewTreeStore
+	// SkipStore is the parallel NavigableSet default (ConcurrentSkipListSet).
+	SkipStore StoreFactory = gamma.NewSkipStore
+)
+
+// HashStore hashes on the first k columns (point queries in O(1)).
+func HashStore(k int) StoreFactory { return gamma.NewHashStore(k) }
+
+// ArrayOfHashSets indexes one small-range int column with a hash set per
+// slot — the custom PvWatts structure of §6.2.
+func ArrayOfHashSets(col int, lo, hi int64) StoreFactory {
+	return gamma.NewArrayOfHashSets(col, lo, hi)
+}
+
+// Dense3D stores (int a, int b, int c -> int v) tables in flat native
+// arrays — the §6.4 native-arrays optimisation.
+func Dense3D(na, nb, nc int) StoreFactory { return gamma.NewDense3D(na, nb, nc) }
+
+// RollingFloatArray stores (int iter, int index -> double v) tables in a
+// two-iteration rolling array — the §6.6 Median optimisation.
+func RollingFloatArray(n int) StoreFactory { return gamma.NewRollingFloatArray(n) }
