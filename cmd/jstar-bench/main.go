@@ -27,6 +27,7 @@ import (
 	"github.com/jstar-lang/jstar/internal/apps/pvwatts"
 	"github.com/jstar-lang/jstar/internal/apps/shortestpath"
 	"github.com/jstar-lang/jstar/internal/disruptor"
+	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/fastcsv"
 	"github.com/jstar-lang/jstar/internal/stats"
 )
@@ -39,10 +40,11 @@ type config struct {
 	medianN     int
 	threadSteps []int
 	repeats     int
+	strategy    exec.Strategy // engine for the parallel JStar sweeps
 }
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 6, 6.2, 6.3, 8, 10, 11, 12, 13")
+	fig := flag.String("fig", "", "figure to regenerate: 6, 6.2, 6.3, 8, 10, 11, 12, 13, strategies")
 	table := flag.String("table", "", "table to regenerate: 1")
 	all := flag.Bool("all", false, "run every experiment")
 	years := flag.Int("pv-years", 10, "PvWatts synthetic years (paper: ~1000)")
@@ -50,10 +52,17 @@ func main() {
 	spV := flag.Int("sp-vertices", 20000, "Dijkstra vertices (paper: 1,000,000)")
 	medN := flag.Int("median-n", 1000000, "median array size (paper: 100,000,000)")
 	repeats := flag.Int("repeats", 3, "measurement repetitions (min taken)")
+	strategyFlag := flag.String("strategy", "auto", "execution strategy for parallel sweeps: auto|sequential|forkjoin|pipelined")
 	maxThreads := flag.Int("max-threads", 2*runtime.NumCPU(), "largest pool size in sweeps")
 	flag.Parse()
 
+	strat, err := exec.ParseStrategy(*strategyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := config{
+		strategy:   strat,
 		pvYears:    *years,
 		matN:       *matN,
 		spVertices: *spV,
@@ -106,6 +115,9 @@ func main() {
 	}
 	if want("13") {
 		fig13(cfg)
+	}
+	if want("strategies") {
+		strategiesTable(cfg)
 	}
 	if !ran {
 		flag.Usage()
@@ -311,7 +323,7 @@ func fig8(cfg config) {
 		for _, th := range cfg.threadSteps {
 			t := timeIt(cfg.repeats, func() {
 				_, err := pvwatts.RunJStar(csv, pvwatts.RunOpts{
-					Threads: th, NoDelta: true, Gamma: g})
+					Strategy: cfg.strategy, Threads: th, NoDelta: true, Gamma: g})
 				must(err)
 			})
 			elapsed = append(elapsed, t)
@@ -378,7 +390,8 @@ func fig11(cfg config) {
 		},
 		func(th int) time.Duration {
 			return timeIt(cfg.repeats, func() {
-				_, err := matmult.RunJStar(matmult.RunOpts{N: cfg.matN, Threads: th, Seed: 42})
+				_, err := matmult.RunJStar(matmult.RunOpts{
+					N: cfg.matN, Strategy: cfg.strategy, Threads: th, Seed: 42})
 				must(err)
 			})
 		})
@@ -396,7 +409,8 @@ func fig12(cfg config) {
 		},
 		func(th int) time.Duration {
 			return timeIt(cfg.repeats, func() {
-				_, err := shortestpath.RunJStar(shortestpath.RunOpts{Gen: gen, Threads: th})
+				_, err := shortestpath.RunJStar(shortestpath.RunOpts{
+					Gen: gen, Strategy: cfg.strategy, Threads: th})
 				must(err)
 			})
 		})
@@ -415,8 +429,57 @@ func fig13(cfg config) {
 		func(th int) time.Duration {
 			return timeIt(cfg.repeats, func() {
 				_, err := median.RunJStar(median.RunOpts{
-					N: cfg.medianN, Regions: 24, Threads: th, Seed: 42})
+					N: cfg.medianN, Regions: 24, Strategy: cfg.strategy, Threads: th, Seed: 42})
 				must(err)
 			})
 		})
+}
+
+// --- Strategy shoot-out: the pluggable execution layer -----------------------
+
+// strategiesTable times every app under every executor strategy at the
+// host's CPU count — the engine-level counterpart of the paper's thesis
+// that the parallelisation strategy is a runtime choice.
+func strategiesTable(cfg config) {
+	fmt.Println("== Executor strategies: same programs, pluggable engines ==")
+	threads := runtime.NumCPU()
+	strategies := []exec.Strategy{exec.Sequential, exec.ForkJoin, exec.Pipelined}
+	fmt.Printf("%-14s", "program")
+	for _, s := range strategies {
+		fmt.Printf(" %14s", s)
+	}
+	fmt.Println()
+	csv := pvwatts.GenerateCSV(cfg.pvYears, false, 42)
+	gen := shortestpath.GenOpts{Vertices: cfg.spVertices, Extra: cfg.spExtra, Tasks: 24, Seed: 42}
+	apps := []struct {
+		name string
+		run  func(s exec.Strategy)
+	}{
+		{"MatMult", func(s exec.Strategy) {
+			_, err := matmult.RunJStar(matmult.RunOpts{N: cfg.matN, Strategy: s, Threads: threads, Seed: 42})
+			must(err)
+		}},
+		{"PvWatts", func(s exec.Strategy) {
+			_, err := pvwatts.RunJStar(csv, pvwatts.RunOpts{Strategy: s, Threads: threads, NoDelta: true})
+			must(err)
+		}},
+		{"Dijkstra", func(s exec.Strategy) {
+			_, err := shortestpath.RunJStar(shortestpath.RunOpts{Gen: gen, Strategy: s, Threads: threads})
+			must(err)
+		}},
+		{"Median", func(s exec.Strategy) {
+			_, err := median.RunJStar(median.RunOpts{N: cfg.medianN, Regions: 24, Strategy: s, Threads: threads, Seed: 42})
+			must(err)
+		}},
+	}
+	for _, app := range apps {
+		fmt.Printf("%-14s", app.name)
+		for _, s := range strategies {
+			s := s
+			t := timeIt(cfg.repeats, func() { app.run(s) })
+			fmt.Printf(" %14v", t.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
 }

@@ -16,12 +16,14 @@ import (
 
 	"github.com/jstar-lang/jstar/internal/causality"
 	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/lang"
 	"github.com/jstar-lang/jstar/internal/stats"
 )
 
 func main() {
 	sequential := flag.Bool("sequential", false, "generate sequential code")
+	strategy := flag.String("strategy", "auto", "execution strategy: auto|sequential|forkjoin|pipelined")
 	threads := flag.Int("threads", 0, "fork/join pool size (0 = NumCPU)")
 	noDelta := flag.String("noDelta", "", "comma-separated tables to bypass the Delta set")
 	noGamma := flag.String("noGamma", "", "comma-separated trigger-only tables")
@@ -57,8 +59,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "jstar: warning: unproved causality obligations (running anyway; use -runtimeCheck to trap violations)")
 		}
 	}
+	strat, err := exec.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
 	opts := core.Options{
 		Sequential:     *sequential,
+		Strategy:       strat,
 		Threads:        *threads,
 		CheckCausality: *runtimeCheck,
 		MaxSteps:       *maxSteps,
@@ -77,6 +84,7 @@ func main() {
 		fmt.Print(line)
 	}
 	if *showStats {
+		fmt.Fprintf(os.Stderr, "strategy: %s\n", run.StrategyName())
 		fmt.Fprint(os.Stderr, stats.TableReport(run))
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/jstar-lang/jstar
+
+go 1.24.0

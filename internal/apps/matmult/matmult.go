@@ -19,6 +19,7 @@ package matmult
 
 import (
 	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/gamma"
 	"github.com/jstar-lang/jstar/internal/reduce"
 	"github.com/jstar-lang/jstar/internal/rng"
@@ -36,6 +37,7 @@ const (
 type RunOpts struct {
 	N          int // multiply two NxN matrices
 	Sequential bool
+	Strategy   exec.Strategy // execution engine (Auto picks from run stats)
 	Threads    int
 	Boxed      bool // route the inner loop through boxed tuples (§6.1)
 	Seed       uint64
@@ -140,6 +142,7 @@ func RunJStar(opts RunOpts) (*Result, error) {
 
 	run, err := p.Execute(core.Options{
 		Sequential: opts.Sequential,
+		Strategy:   opts.Strategy,
 		Threads:    opts.Threads,
 		NoDelta:    []string{"Matrix"},
 		Quiet:      true,

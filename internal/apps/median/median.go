@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/gamma"
 	"github.com/jstar-lang/jstar/internal/rng"
 	"github.com/jstar-lang/jstar/internal/tuple"
@@ -35,6 +36,7 @@ type RunOpts struct {
 	N          int // array size (the paper used 100 million)
 	Regions    int // partition tasks per iteration (default 24)
 	Sequential bool
+	Strategy   exec.Strategy // execution engine (Auto picks from run stats)
 	Threads    int
 	Seed       uint64
 	MaxSteps   int64 // safety valve for tests (0 = none)
@@ -250,6 +252,7 @@ func RunJStar(opts RunOpts) (*Result, error) {
 
 	opts2 := core.Options{
 		Sequential: opts.Sequential,
+		Strategy:   opts.Strategy,
 		Threads:    opts.Threads,
 		NoDelta:    []string{"Data", "Count"},
 		Quiet:      true,

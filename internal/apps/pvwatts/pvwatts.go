@@ -21,6 +21,7 @@ import (
 
 	"github.com/jstar-lang/jstar/internal/core"
 	"github.com/jstar-lang/jstar/internal/disruptor"
+	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/fastcsv"
 	"github.com/jstar-lang/jstar/internal/forkjoin"
 	"github.com/jstar-lang/jstar/internal/gamma"
@@ -59,6 +60,7 @@ func (g GammaKind) Name() string {
 // RunOpts configure a JStar PvWatts run.
 type RunOpts struct {
 	Sequential bool
+	Strategy   exec.Strategy // execution engine (Auto picks from run stats)
 	Threads    int
 	NoDelta    bool // -noDelta PvWatts (§6.2: 23.0s -> 8.44s)
 	NoGamma    bool // -noGamma SumMonth (SumMonth is trigger-only)
@@ -229,6 +231,7 @@ func Program(csv []byte, opts RunOpts) (*core.Program, *core.Options, func(*core
 
 	co := &core.Options{
 		Sequential:    opts.Sequential,
+		Strategy:      opts.Strategy,
 		Threads:       opts.Threads,
 		Quiet:         true,
 		TraceDataflow: opts.Trace,

@@ -16,6 +16,7 @@ import (
 	"container/heap"
 
 	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/gamma"
 	"github.com/jstar-lang/jstar/internal/rng"
 	"github.com/jstar-lang/jstar/internal/tuple"
@@ -71,6 +72,7 @@ func Generate(o GenOpts) []Edge {
 type RunOpts struct {
 	Gen        GenOpts
 	Sequential bool
+	Strategy   exec.Strategy // execution engine (Auto picks from run stats)
 	Threads    int
 	Verbose    bool // keep the Fig 5 println output
 }
@@ -155,6 +157,7 @@ func RunJStar(opts RunOpts) (*Result, error) {
 
 	run, err := p.Execute(core.Options{
 		Sequential: opts.Sequential,
+		Strategy:   opts.Strategy,
 		Threads:    opts.Threads,
 		NoDelta:    []string{"Edge", "Done"},
 		NoGamma:    []string{"Estimate"},

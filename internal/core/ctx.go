@@ -16,16 +16,19 @@ type Ctx struct {
 	run     *Run
 	rule    *Rule
 	trigger *tuple.Tuple
+	slot    int // put-buffer slot of the executing participant
 }
 
 // Trigger returns the tuple that fired this rule (nil for initial puts).
 func (c *Ctx) Trigger() *tuple.Tuple { return c.trigger }
 
-// Put adds a new tuple to the database (via the Delta set, or directly to
-// Gamma under -noDelta). Under Options.CheckCausality it panics if the new
-// tuple's causal key precedes the trigger's — the law of causality (§4).
+// Put adds a new tuple to the database: it is appended to this worker's
+// put buffer and flushed into the Delta set as part of the step-boundary
+// batch (or, under -noDelta, inserted into Gamma and fired inline). Under
+// Options.CheckCausality it panics if the new tuple's causal key precedes
+// the trigger's — the law of causality (§4).
 func (c *Ctx) Put(t *tuple.Tuple) {
-	c.run.put(c.rule.Name, c.trigger, t)
+	c.run.put(c.rule.Name, c.trigger, t, c.slot)
 }
 
 // PutNew builds a tuple positionally and puts it: ctx.PutNew(ship, v...) is

@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/jstar-lang/jstar/internal/delta"
+	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/forkjoin"
 	"github.com/jstar-lang/jstar/internal/gamma"
 	"github.com/jstar-lang/jstar/internal/order"
@@ -28,6 +30,7 @@ type TableStats struct {
 type RunStats struct {
 	Steps      int64 // execution steps (minimum-batch extractions)
 	MaxBatch   int   // largest parallel batch
+	TotalLive  int64 // live (non-duplicate) tuples entering step batches
 	TotalFired int64 // total rule firings
 	Elapsed    time.Duration
 	Tables     map[string]*TableStats
@@ -61,18 +64,52 @@ func (s *RunStats) addFlow(rule, table string) {
 	s.flowMu.Unlock()
 }
 
+// SuggestStrategy recommends an executor strategy for re-running the same
+// program, computed from the observed mean parallel batch size (live
+// tuples per step — the same measurement the Auto strategy makes mid-run,
+// so the two heuristics agree). This is the paper's §1.5 loop of letting
+// run logs drive the parallelisation choice.
+func (s *RunStats) SuggestStrategy(threads int) exec.Strategy {
+	if s.Steps == 0 {
+		return exec.Sequential
+	}
+	return exec.Choose(float64(s.TotalLive)/float64(s.Steps), threads)
+}
+
+// putSlot is one participant's put buffer. Rule firings on slot i append
+// here and the coordinator flushes all slots into the Delta tree as one
+// sorted batch at the step boundary — so no firing ever contends on the
+// global Delta-tree structures. The mutex is uncontended in the common
+// case (one goroutine per slot per step); it exists because a rule may
+// fan its own body out across the pool (§5.2 "additional parallelism"),
+// making several workers share the firing rule's slot.
+type putSlot struct {
+	mu  sync.Mutex
+	buf []*tuple.Tuple
+	_   [4]uint64 // keep adjacent slots off one cache line
+}
+
 // Run is one execution of a Program under a set of Options.
 type Run struct {
 	prog *Program
 	opts Options
 
-	delta   *delta.Tree
-	gammaDB *gamma.DB
-	pool    PoolRef
-	ownPool *forkjoin.Pool
+	delta    *delta.Tree
+	gammaDB  *gamma.DB
+	pool     PoolRef
+	ownPool  *forkjoin.Pool
+	executor exec.Executor
+	threads  int
 
-	noDelta map[*tuple.Schema]bool
-	noGamma map[*tuple.Schema]bool
+	slots    []putSlot
+	flushBuf []*tuple.Tuple // coordinator-only scratch for endStep
+
+	// Dense per-schema-ID tables replacing map lookups on the hot path.
+	noDelta   []bool
+	noGamma   []bool
+	hasAction []bool
+	statsByID []*TableStats
+	rulesByID [][]*Rule
 
 	out    outputBuffer
 	stats  RunStats
@@ -85,46 +122,90 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 	if err := p.Validate(opts); err != nil {
 		return nil, err
 	}
+	strategy := opts.strategy()
 	r := &Run{
-		prog:    p,
-		opts:    opts,
-		noDelta: make(map[*tuple.Schema]bool),
-		noGamma: make(map[*tuple.Schema]bool),
-		failMu:  make(chan struct{}, 1),
+		prog:   p,
+		opts:   opts,
+		failMu: make(chan struct{}, 1),
 	}
 	r.out.quiet = opts.Quiet
-	if opts.Sequential {
-		r.delta = delta.NewSequential(p.po)
+
+	// All Delta-tree mutation is funnelled through the coordinator's
+	// step-boundary flush (PutBatch), so even parallel strategies use the
+	// sequential red-black-tree backend — the skip-list Delta tree and its
+	// contention (§6.5) are gone from the engine hot path.
+	r.delta = delta.NewSequential(p.po)
+	// Gamma backend choice follows the effective parallelism, not just the
+	// requested one: Auto on a single-scheduler machine can only ever pick
+	// Sequential (its thread count is clamped to GOMAXPROCS), so it gets
+	// the cheaper tree stores instead of paying the concurrent skip-list
+	// tax for parallelism that cannot happen.
+	if strategy == exec.Sequential ||
+		(strategy == exec.Auto && runtime.GOMAXPROCS(0) == 1) {
 		r.gammaDB = gamma.NewDB(gamma.NewTreeStore)
 	} else {
-		r.delta = delta.NewConcurrent(p.po)
 		r.gammaDB = gamma.NewDB(gamma.NewSkipStore)
 	}
 	for t, f := range p.hints {
 		r.gammaDB.SetStore(t, f)
 	}
+	// Freeze the per-run dense store table: Table lookups during execution
+	// are a bounds check and pointer compare, no lock.
+	r.gammaDB.Register(p.byID)
+
+	n := len(p.byID)
+	r.noDelta = make([]bool, n)
+	r.noGamma = make([]bool, n)
+	r.hasAction = make([]bool, n)
+	r.statsByID = make([]*TableStats, n)
+	r.rulesByID = make([][]*Rule, n)
 	for _, t := range opts.NoDelta {
-		r.noDelta[p.tables[t]] = true
+		r.noDelta[p.tables[t].ID()] = true
 	}
 	for _, t := range opts.NoGamma {
-		r.noGamma[p.tables[t]] = true
+		r.noGamma[p.tables[t].ID()] = true
 	}
-	r.stats.Tables = make(map[string]*TableStats, len(p.tables))
+	r.stats.Tables = make(map[string]*TableStats, n)
+	for _, s := range p.byID {
+		st := &TableStats{}
+		r.stats.Tables[s.Name] = st
+		r.statsByID[s.ID()] = st
+		r.rulesByID[s.ID()] = p.trigger[s]
+		if _, ok := p.actions[s]; ok {
+			r.hasAction[s.ID()] = true
+		}
+	}
 	r.stats.RuleNanos = make(map[string]*atomic.Int64, len(p.rules))
-	for name := range p.tables {
-		r.stats.Tables[name] = &TableStats{}
-	}
 	for _, rule := range p.rules {
 		if _, dup := r.stats.RuleNanos[rule.Name]; !dup {
 			r.stats.RuleNanos[rule.Name] = &atomic.Int64{}
 		}
 	}
+
 	if opts.Pool != nil {
 		r.pool = opts.Pool
-	} else if !opts.Sequential {
+	} else if strategy == exec.ForkJoin || strategy == exec.Auto {
 		r.ownPool = forkjoin.NewPool(opts.threads())
 		r.pool = r.ownPool
 	}
+	r.threads = opts.threads()
+	if r.pool != nil && r.pool.Size() > r.threads {
+		r.threads = r.pool.Size()
+	}
+	if strategy == exec.Sequential {
+		r.threads = 1
+	}
+
+	var pool exec.Pool
+	if r.pool != nil {
+		pool = r.pool
+	}
+	ex, err := exec.New(strategy, exec.Config{Threads: r.threads, Pool: pool})
+	if err != nil {
+		return nil, err
+	}
+	r.executor = ex
+	r.slots = make([]putSlot, r.threads+1)
 	return r, nil
 }
 
@@ -132,16 +213,9 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 // first rule panic as an error, or a step-limit error.
 func (r *Run) Execute() error {
 	start := time.Now()
-	defer func() {
-		r.stats.Elapsed = time.Since(start)
-		if r.ownPool != nil {
-			r.ownPool.Shutdown()
-		}
-	}()
-	for _, t := range r.prog.initial {
-		r.put("put", nil, t)
-	}
-	return r.drain()
+	defer r.finish(start)
+	r.seed()
+	return r.executor.Drain(runHost{r})
 }
 
 // ExecuteEvents is the event-driven execution mode (§3): external input
@@ -151,62 +225,64 @@ func (r *Run) Execute() error {
 // the final quiescence is reached. Initial puts still run first.
 func (r *Run) ExecuteEvents(events <-chan *tuple.Tuple) error {
 	start := time.Now()
-	defer func() {
-		r.stats.Elapsed = time.Since(start)
-		if r.ownPool != nil {
-			r.ownPool.Shutdown()
-		}
-	}()
-	for _, t := range r.prog.initial {
-		r.put("put", nil, t)
-	}
+	defer r.finish(start)
+	r.seed()
 	for {
-		if err := r.drain(); err != nil {
+		if err := r.executor.Drain(runHost{r}); err != nil {
 			return err
 		}
 		t, ok := <-events
 		if !ok {
 			return r.loadFail()
 		}
-		r.put("event", nil, t)
+		r.put("event", nil, t, 0)
 		// Opportunistically absorb already-pending events so one step can
 		// batch simultaneous inputs.
 		for {
 			select {
 			case t, ok := <-events:
 				if !ok {
-					return r.drain()
+					r.endStep()
+					return r.executor.Drain(runHost{r})
 				}
-				r.put("event", nil, t)
+				r.put("event", nil, t, 0)
 				continue
 			default:
 			}
 			break
 		}
+		r.endStep()
 	}
 }
 
-// drain runs execution steps until the Delta set is empty.
-func (r *Run) drain() error {
-	for !r.delta.Empty() {
-		if err := r.loadFail(); err != nil {
-			return err
-		}
-		if r.opts.MaxSteps > 0 && r.stats.Steps >= r.opts.MaxSteps {
-			return fmt.Errorf("jstar: run aborted after %d steps (MaxSteps); program may not terminate", r.stats.Steps)
-		}
-		batch := r.delta.TakeMinBatch()
-		if len(batch) == 0 {
-			continue
-		}
-		r.stats.Steps++
-		if len(batch) > r.stats.MaxBatch {
-			r.stats.MaxBatch = len(batch)
-		}
-		r.step(batch)
+// seed performs the program's initial puts on the coordinator slot and
+// flushes them into the Delta tree.
+func (r *Run) seed() {
+	for _, t := range r.prog.initial {
+		r.put("put", nil, t, 0)
 	}
-	return r.loadFail()
+	r.endStep()
 }
+
+func (r *Run) finish(start time.Time) {
+	r.stats.Elapsed = time.Since(start)
+	if r.executor != nil {
+		r.executor.Close()
+	}
+	if r.ownPool != nil {
+		r.ownPool.Shutdown()
+	}
+}
+
+// runHost adapts Run to the exec.Host interface without exporting the
+// engine internals on Run itself.
+type runHost struct{ r *Run }
+
+func (h runHost) NextBatch() ([]*tuple.Tuple, error)        { return h.r.nextBatch() }
+func (h runHost) BeginStep(b []*tuple.Tuple) []*tuple.Tuple { return h.r.beginStep(b) }
+func (h runHost) Fire(t *tuple.Tuple, slot int)             { h.r.fire(t, slot) }
+func (h runHost) EndStep()                                  { h.r.endStep() }
+func (h runHost) Err() error                                { return h.r.loadFail() }
 
 func (r *Run) loadFail() error {
 	if e := r.fail.Load(); e != nil {
@@ -223,42 +299,102 @@ func (r *Run) setFail(err error) {
 	}
 }
 
-// step moves one causal equivalence class from Delta into Gamma and fires
-// the triggered rules — in parallel when the batch has more than one tuple
-// (the all-minimums strategy, §5).
-func (r *Run) step(batch []*tuple.Tuple) {
-	// Insert the whole batch into Gamma first: positive queries may see
-	// tuples with timestamps <= the trigger's, which includes batch-mates.
-	live := batch[:0]
-	for _, t := range batch {
-		s := t.Schema()
-		if r.noGamma[s] {
-			live = append(live, t)
+// nextBatch extracts the next minimal causal equivalence class, doing the
+// step accounting and limit checks. nil with nil error means drained.
+func (r *Run) nextBatch() ([]*tuple.Tuple, error) {
+	for {
+		if err := r.loadFail(); err != nil {
+			return nil, err
+		}
+		if r.delta.Empty() {
+			return nil, nil
+		}
+		if r.opts.MaxSteps > 0 && r.stats.Steps >= r.opts.MaxSteps {
+			return nil, fmt.Errorf("jstar: run aborted after %d steps (MaxSteps); program may not terminate", r.stats.Steps)
+		}
+		batch := r.delta.TakeMinBatch()
+		if len(batch) == 0 {
 			continue
 		}
-		if r.gammaDB.Insert(t) {
-			live = append(live, t)
-		} else {
-			// Already processed in an earlier step: set semantics say the
-			// duplicate is discarded, so its rules do not re-fire.
-			r.tableStats(s).Duplicates.Add(1)
+		r.stats.Steps++
+		if len(batch) > r.stats.MaxBatch {
+			r.stats.MaxBatch = len(batch)
 		}
+		return batch, nil
 	}
-	if len(live) == 0 {
-		return
+}
+
+// beginStep moves one causal equivalence class into Gamma — batch-wise, one
+// store synchronisation episode per table run — and performs external
+// actions. It returns the live (non-duplicate) tuples whose rules fire.
+func (r *Run) beginStep(batch []*tuple.Tuple) []*tuple.Tuple {
+	// Tuples within one equivalence class are unordered; sorting by table
+	// then fields groups each store's insert run, gives ordered backends
+	// locality, and makes sequential firing order deterministic.
+	if len(batch) > 1 {
+		sort.Slice(batch, func(i, j int) bool {
+			a, b := batch[i], batch[j]
+			if a.Schema() != b.Schema() {
+				return a.Schema().ID() < b.Schema().ID()
+			}
+			return a.CompareFields(b) < 0
+		})
 	}
+	live := batch[:0]
+	anyAction := false
+	for i := 0; i < len(batch); {
+		s := batch[i].Schema()
+		j := i + 1
+		for j < len(batch) && batch[j].Schema() == s {
+			j++
+		}
+		group := batch[i:j]
+		id := s.ID()
+		if r.hasAction[id] {
+			anyAction = true
+		}
+		if r.noGamma[id] {
+			live = append(live, group...)
+		} else {
+			// Positive queries may see tuples with timestamps <= the
+			// trigger's, which includes batch-mates, so the whole batch
+			// lands in Gamma before any rule fires. Duplicates were already
+			// processed in an earlier step: set semantics say they are
+			// discarded and their rules do not re-fire.
+			n := len(live)
+			live = gamma.InsertBatch(r.gammaDB.Table(s), group, live)
+			if dups := len(group) - (len(live) - n); dups > 0 {
+				r.statsByID[id].Duplicates.Add(int64(dups))
+			}
+		}
+		i = j
+	}
+	r.stats.TotalLive += int64(len(live))
 	// External actions (paper §3) run on the coordinator, in deterministic
-	// order within the batch, before the batch's rules fire.
-	if len(r.prog.actions) > 0 {
+	// order within the batch, before the batch's rules fire. anyAction
+	// keeps action-free steps from paying the scan.
+	if anyAction {
 		r.runActions(live)
 	}
-	if r.pool == nil || len(live) == 1 {
-		for _, t := range live {
-			r.fire(t)
+	return live
+}
+
+// endStep flushes every put buffer into the Delta tree as one sorted batch.
+// Called only by the executor's coordinator with all firings quiesced.
+func (r *Run) endStep() {
+	flush := r.flushBuf[:0]
+	for i := range r.slots {
+		if sl := &r.slots[i]; len(sl.buf) > 0 {
+			flush = append(flush, sl.buf...)
+			sl.buf = sl.buf[:0]
 		}
-		return
 	}
-	r.pool.For(len(live), 1, func(i int) { r.fire(live[i]) })
+	if len(flush) > 0 {
+		r.delta.PutBatch(flush, func(t *tuple.Tuple) {
+			r.statsByID[t.Schema().ID()].Duplicates.Add(1)
+		})
+	}
+	r.flushBuf = flush[:0]
 }
 
 // runActions performs registered external actions for the batch's tuples.
@@ -267,45 +403,47 @@ func (r *Run) step(batch []*tuple.Tuple) {
 func (r *Run) runActions(batch []*tuple.Tuple) {
 	var acted []*tuple.Tuple
 	for _, t := range batch {
-		if _, ok := r.prog.actions[t.Schema()]; ok {
+		if r.hasAction[t.Schema().ID()] {
 			acted = append(acted, t)
 		}
 	}
 	if len(acted) == 0 {
 		return
 	}
-	sort.Slice(acted, func(i, j int) bool {
-		if a, b := acted[i].Schema().Name, acted[j].Schema().Name; a != b {
-			return a < b
-		}
-		return acted[i].CompareFields(acted[j]) < 0
-	})
+	if len(acted) > 1 {
+		sort.Slice(acted, func(i, j int) bool {
+			if a, b := acted[i].Schema().Name, acted[j].Schema().Name; a != b {
+				return a < b
+			}
+			return acted[i].CompareFields(acted[j]) < 0
+		})
+	}
 	for _, t := range acted {
 		r.prog.actions[t.Schema()](r, t)
 	}
 }
 
-// fire runs every rule triggered by t.
-func (r *Run) fire(t *tuple.Tuple) {
-	rules := r.prog.trigger[t.Schema()]
+// fire runs every rule triggered by t, buffering puts under slot.
+func (r *Run) fire(t *tuple.Tuple, slot int) {
+	rules := r.rulesByID[t.Schema().ID()]
 	if len(rules) == 0 {
 		return
 	}
-	st := r.tableStats(t.Schema())
+	st := r.statsByID[t.Schema().ID()]
 	for _, rule := range rules {
 		st.Triggers.Add(1)
 		atomic.AddInt64(&r.stats.TotalFired, 1)
-		r.invoke(rule, t)
+		r.invoke(rule, t, slot)
 	}
 }
 
-func (r *Run) invoke(rule *Rule, t *tuple.Tuple) {
+func (r *Run) invoke(rule *Rule, t *tuple.Tuple, slot int) {
 	defer func() {
 		if p := recover(); p != nil {
 			r.setFail(fmt.Errorf("jstar: rule %s on %v panicked: %v", rule.Name, t, p))
 		}
 	}()
-	ctx := &Ctx{run: r, rule: rule, trigger: t}
+	ctx := &Ctx{run: r, rule: rule, trigger: t, slot: slot}
 	start := time.Now()
 	rule.Body(ctx, t)
 	if n := r.stats.RuleNanos[rule.Name]; n != nil {
@@ -314,14 +452,19 @@ func (r *Run) invoke(rule *Rule, t *tuple.Tuple) {
 }
 
 func (r *Run) tableStats(s *tuple.Schema) *TableStats {
-	return r.stats.Tables[s.Name]
+	if id := int(s.ID()); id < len(r.statsByID) && r.prog.byID[id] == s {
+		return r.statsByID[id]
+	}
+	return nil
 }
 
 // put implements the tuple creation path shared by initial puts and rule
 // puts. from is the trigger tuple of the producing rule, nil for initial
-// puts. Under -noDelta the tuple goes straight to Gamma and fires its rules
-// on the calling task.
-func (r *Run) put(ruleName string, from *tuple.Tuple, t *tuple.Tuple) {
+// puts; slot identifies the put buffer of the executing participant.
+// Under -noDelta the tuple goes straight to Gamma and fires its rules on
+// the calling task; everything else is appended to the slot buffer and
+// flushed into the Delta tree at the step boundary.
+func (r *Run) put(ruleName string, from *tuple.Tuple, t *tuple.Tuple, slot int) {
 	s := t.Schema()
 	st := r.tableStats(s)
 	if st == nil {
@@ -339,19 +482,21 @@ func (r *Run) put(ruleName string, from *tuple.Tuple, t *tuple.Tuple) {
 				from, kf, t, kt))
 		}
 	}
-	if r.noDelta[s] {
-		if !r.noGamma[s] {
+	id := s.ID()
+	if r.noDelta[id] {
+		if !r.noGamma[id] {
 			if !r.gammaDB.Insert(t) {
 				st.Duplicates.Add(1)
 				return
 			}
 		}
-		r.fire(t)
+		r.fire(t, slot)
 		return
 	}
-	if !r.delta.Put(t) {
-		st.Duplicates.Add(1)
-	}
+	sl := &r.slots[slot]
+	sl.mu.Lock()
+	sl.buf = append(sl.buf, t)
+	sl.mu.Unlock()
 }
 
 // Stats returns the run statistics (valid after Execute returns).
@@ -359,6 +504,10 @@ func (r *Run) Stats() *RunStats { return &r.stats }
 
 // Program returns the program this run executes.
 func (r *Run) Program() *Program { return r.prog }
+
+// StrategyName reports the executor driving this run ("sequential",
+// "forkjoin", "pipelined", or "auto:<chosen>" once Auto has decided).
+func (r *Run) StrategyName() string { return r.executor.Name() }
 
 // Output returns the Println lines produced so far. Within one parallel
 // batch the order is scheduling-dependent; across batches it follows the
@@ -374,10 +523,10 @@ func (r *Run) DeltaLen() int { return r.delta.Len() }
 
 // Threads reports the degree of parallelism used by the run.
 func (r *Run) Threads() int {
-	if r.pool == nil {
+	if r.threads < 1 {
 		return 1
 	}
-	return r.pool.Size()
+	return r.threads
 }
 
 // Execute is the one-call convenience: build a run, execute it, return it.

@@ -23,6 +23,7 @@ package delta
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -225,6 +226,111 @@ func (tr *Tree) Put(t *tuple.Tuple) bool {
 	}
 	tr.size.Add(1)
 	return true
+}
+
+// resolveKey returns the child-map key and kind for orderby level i of t's
+// schema.
+func (tr *Tree) resolveKey(t *tuple.Tuple, i int) (tuple.Value, tuple.OrderKind) {
+	s := t.Schema()
+	e := s.OrderBy[i]
+	if e.Kind == tuple.OrderLit {
+		return tuple.Int(int64(tr.po.Rank(e.Lit))), tuple.OrderLit
+	}
+	return t.Field(s.OrderByColumn(i)), e.Kind
+}
+
+// PutBatch inserts all of ts, calling dup (if non-nil) for each tuple
+// discarded as a duplicate, and returns the number actually added. The batch
+// is sorted in place by Delta-tree path so consecutive inserts share tree
+// descents; tuples whose paths match the previous tuple's reuse the cached
+// node spine instead of descending from the root.
+//
+// PutBatch is the step-boundary flush path of the batched execution engine:
+// it must not race with Put, TakeMinBatch, or another PutBatch. Because the
+// engine now funnels all Delta mutation through the coordinator, a
+// sequential tree backend suffices even for parallel runs.
+func (tr *Tree) PutBatch(ts []*tuple.Tuple, dup func(*tuple.Tuple)) int {
+	if len(ts) == 0 {
+		return 0
+	}
+	if len(ts) > 1 {
+		sort.Slice(ts, func(i, j int) bool { return tr.pathLess(ts[i], ts[j]) })
+	}
+	added := 0
+	// spine[i] is the node reached after resolving level i of prev's path.
+	var spine []*node
+	var prev *tuple.Tuple
+	for _, t := range ts {
+		depth := len(t.Schema().OrderBy)
+		// Longest prefix of the path shared with the previous tuple.
+		shared := 0
+		if prev != nil {
+			maxShare := len(spine)
+			if depth < maxShare {
+				maxShare = depth
+			}
+			for shared < maxShare {
+				ka, kinda := tr.resolveKey(t, shared)
+				kb, kindb := tr.resolveKey(prev, shared)
+				if kinda != kindb || tuple.Compare(ka, kb) != 0 {
+					break
+				}
+				shared++
+			}
+		}
+		n := tr.root
+		if shared > 0 {
+			n = spine[shared-1]
+		}
+		spine = spine[:shared]
+		for i := shared; i < depth; i++ {
+			key, kind := tr.resolveKey(t, i)
+			n.childInit.Do(func() {
+				n.children = tr.newMap()
+				n.childKind = kind
+			})
+			if n.childKind != kind {
+				panic(fmt.Sprintf("jstar: table %s orderby entry %d (%v) conflicts with sibling tables at the same Delta-tree level (%v)",
+					t.Schema().Name, i, kind, n.childKind))
+			}
+			n = n.children.getOrCreate(key, func() *node { return &node{} })
+			spine = append(spine, n)
+		}
+		prev = t
+		if n.leaf.add(t) {
+			added++
+		} else {
+			tr.dups.Add(1)
+			if dup != nil {
+				dup(t)
+			}
+		}
+	}
+	tr.size.Add(int64(added))
+	return added
+}
+
+// pathLess orders tuples so PutBatch inserts share tree descents. Schema
+// identity is compared first — tuples of one schema share every
+// lit-resolved edge of their path, so grouping by schema captures the lit
+// levels without resolving them — then the seq/par orderby fields in
+// declaration order. Equal paths reach the same leaf set whatever their
+// relative order, so ties need no further work.
+func (tr *Tree) pathLess(a, b *tuple.Tuple) bool {
+	sa, sb := a.Schema(), b.Schema()
+	if sa != sb {
+		return sa.ID() < sb.ID()
+	}
+	for i, e := range sa.OrderBy {
+		if e.Kind == tuple.OrderLit {
+			continue
+		}
+		col := sa.OrderByColumn(i)
+		if c := tuple.Compare(a.Field(col), b.Field(col)); c != 0 {
+			return c < 0
+		}
+	}
+	return false
 }
 
 // TakeMinBatch removes and returns the minimal causal equivalence class:

@@ -1,0 +1,309 @@
+// Package exec is the pluggable execution layer of the JStar engine: it
+// owns the step loop that repeatedly extracts the minimal causal
+// equivalence class from the Delta set and fires the triggered rules, and
+// it decides *how* those firings are scheduled.
+//
+// The paper's thesis is that parallelism strategy is a runtime choice, not
+// a program change (§1, §5); this package is that choice made concrete.
+// Three strategies are provided behind one Executor interface:
+//
+//   - Sequential: a single-threaded step loop (the -sequential code
+//     generator).
+//   - ForkJoin: each step's batch is fired across a work-stealing fork/join
+//     pool (the paper's default parallel code generator, §5).
+//   - Pipelined: a persistent crew of consumers fed through a Disruptor
+//     ring buffer (the §6.3 PvWatts redesign, generalised to any program);
+//     per-step hand-off costs an atomic publish instead of task forking.
+//
+// Auto (the zero value) picks for you: the run warms up sequentially while
+// observing batch sizes, then upgrades to ForkJoin or Pipelined using the
+// Choose heuristic — the §1.5 idea of using run logs to select strategies,
+// folded into a single run.
+//
+// All strategies execute against the Host interface and share its batched
+// put protocol: rule firings append new tuples to per-worker put buffers
+// (identified by the slot index passed to Fire), and the coordinator
+// flushes every buffer into the Delta tree as one sorted batch at the step
+// boundary (EndStep). No firing ever takes the Delta-tree lock.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/jstar-lang/jstar/internal/disruptor"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// Strategy selects how rule firings are scheduled.
+type Strategy int
+
+const (
+	// Auto warms up sequentially, then picks a strategy from the observed
+	// batch statistics (Choose), with the thread count clamped to
+	// GOMAXPROCS so it never upgrades into oversubscription.
+	Auto Strategy = iota
+	// Sequential fires every rule on the coordinator goroutine.
+	Sequential
+	// ForkJoin fires each step's batch across a work-stealing pool.
+	ForkJoin
+	// Pipelined streams firings through a Disruptor ring to a persistent
+	// consumer crew.
+	Pipelined
+)
+
+// String returns the flag spelling of s.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Sequential:
+		return "sequential"
+	case ForkJoin:
+		return "forkjoin"
+	case Pipelined:
+		return "pipelined"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy parses a -strategy flag value.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "", "auto":
+		return Auto, nil
+	case "seq", "sequential":
+		return Sequential, nil
+	case "forkjoin", "fork-join", "fj":
+		return ForkJoin, nil
+	case "pipelined", "pipeline", "disruptor":
+		return Pipelined, nil
+	}
+	return Auto, fmt.Errorf("jstar: unknown strategy %q (want auto|sequential|forkjoin|pipelined)", s)
+}
+
+// Host is the engine surface an Executor drives; implemented by core.Run.
+// The contract: NextBatch/BeginStep/EndStep are called by the executor's
+// coordinator goroutine only; Fire may be called from many goroutines
+// concurrently, each with a distinct slot (0 is reserved for the
+// coordinator).
+type Host interface {
+	// NextBatch extracts the next minimal causal equivalence class,
+	// handling step accounting, failure checks and the step limit. A nil
+	// batch with nil error means the Delta set has drained.
+	NextBatch() ([]*tuple.Tuple, error)
+	// BeginStep inserts the batch into the Gamma database (batch-wise, with
+	// set-semantics dedup) and runs external actions, returning the live
+	// tuples whose rules must fire.
+	BeginStep(batch []*tuple.Tuple) []*tuple.Tuple
+	// Fire fires every rule triggered by t, buffering its puts under slot.
+	Fire(t *tuple.Tuple, slot int)
+	// EndStep flushes all put buffers into the Delta tree as one sorted
+	// batch.
+	EndStep()
+	// Err returns the first failure recorded by a rule, or nil.
+	Err() error
+}
+
+// Pool abstracts the fork/join pool an Executor schedules on (implemented
+// by forkjoin.Pool and core.PoolRef).
+type Pool interface {
+	Size() int
+	// ForWorker runs body(slot, i) for every i in [0, n): slot 0 is the
+	// calling goroutine, slots 1..Size() the pool workers.
+	ForWorker(n, grain int, body func(slot, i int))
+}
+
+// Executor runs a program's step loop to quiescence. Drain may be called
+// repeatedly (the event-driven mode re-drains after each event batch);
+// Close releases executor resources once no more Drains will follow.
+type Executor interface {
+	// Name identifies the strategy for run reports.
+	Name() string
+	// Drain runs execution steps until the Delta set is empty or the run
+	// fails.
+	Drain(h Host) error
+	// Close releases executor-owned resources (consumer goroutines, rings).
+	Close()
+}
+
+// Config carries the shared knobs for building executors.
+type Config struct {
+	// Threads is the target degree of parallelism (Pipelined consumer
+	// count; Auto's decision input). Defaults to Pool.Size() when a pool is
+	// present.
+	Threads int
+	// Pool is the fork/join pool for ForkJoin (and Auto, which may upgrade
+	// to it). May be nil for Sequential and Pipelined.
+	Pool Pool
+	// RingSize is the Pipelined ring capacity (power of two, default 4096).
+	RingSize int
+	// ClaimBatch is the Pipelined producer claim batch (default 256).
+	ClaimBatch int
+	// Wait is the Pipelined wait strategy (default BlockingWait).
+	Wait disruptor.WaitStrategy
+	// WarmupSteps is Auto's sequential observation window (default 32).
+	WarmupSteps int64
+}
+
+func (c Config) threads() int {
+	if c.Threads > 0 {
+		return c.Threads
+	}
+	if c.Pool != nil {
+		return c.Pool.Size()
+	}
+	return 1
+}
+
+// New builds an executor for the strategy. ForkJoin requires cfg.Pool.
+func New(s Strategy, cfg Config) (Executor, error) {
+	switch s {
+	case Sequential:
+		return sequential{}, nil
+	case ForkJoin:
+		if cfg.Pool == nil {
+			return nil, fmt.Errorf("jstar: ForkJoin strategy requires a pool")
+		}
+		return &forkJoin{pool: cfg.Pool}, nil
+	case Pipelined:
+		return newPipelined(cfg), nil
+	case Auto:
+		return &adaptive{cfg: cfg}, nil
+	}
+	return nil, fmt.Errorf("jstar: unknown strategy %v", s)
+}
+
+// Choose recommends a strategy from observed run statistics: the mean
+// parallel batch size (live tuples per step) and the available threads.
+// Tiny batches cannot amortise any hand-off, so they stay sequential; big
+// batches amortise fork/join's chunked parallel-for best; the moderate
+// middle is where the Pipelined crew's cheap per-tuple publish wins. This
+// is the §1.5 "statistics drive the parallelisation strategy" loop.
+func Choose(avgBatch float64, threads int) Strategy {
+	if threads <= 1 || avgBatch < 2 {
+		return Sequential
+	}
+	if avgBatch >= float64(4*threads) {
+		return ForkJoin
+	}
+	return Pipelined
+}
+
+// sequential is the -sequential step loop: one goroutine, slot 0.
+type sequential struct{}
+
+func (sequential) Name() string { return "sequential" }
+func (sequential) Close()       {}
+
+func (sequential) Drain(h Host) error {
+	for {
+		batch, err := h.NextBatch()
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			return h.Err()
+		}
+		live := h.BeginStep(batch)
+		for _, t := range live {
+			h.Fire(t, 0)
+		}
+		h.EndStep()
+	}
+}
+
+// forkJoin fires each batch across the pool — today's parallel behaviour,
+// minus the per-put Delta lock (puts go to the per-slot buffers).
+type forkJoin struct{ pool Pool }
+
+func (e *forkJoin) Name() string { return "forkjoin" }
+func (e *forkJoin) Close()       {}
+
+func (e *forkJoin) Drain(h Host) error {
+	for {
+		batch, err := h.NextBatch()
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			return h.Err()
+		}
+		live := h.BeginStep(batch)
+		if len(live) == 1 {
+			h.Fire(live[0], 0)
+		} else {
+			e.pool.ForWorker(len(live), 1, func(slot, i int) { h.Fire(live[i], slot) })
+		}
+		h.EndStep()
+	}
+}
+
+// adaptive is the Auto strategy: drive the first WarmupSteps steps
+// sequentially while measuring batch sizes, then hand the rest of the run
+// to the strategy Choose picks.
+type adaptive struct {
+	cfg    Config
+	chosen Executor
+	steps  int64
+	tuples int64
+}
+
+func (a *adaptive) Name() string {
+	if a.chosen != nil {
+		return "auto:" + a.chosen.Name()
+	}
+	return "auto"
+}
+
+func (a *adaptive) Close() {
+	if a.chosen != nil {
+		a.chosen.Close()
+	}
+}
+
+func (a *adaptive) Drain(h Host) error {
+	if a.chosen != nil {
+		return a.chosen.Drain(h)
+	}
+	warmup := a.cfg.WarmupSteps
+	if warmup <= 0 {
+		warmup = 32
+	}
+	for a.steps < warmup {
+		batch, err := h.NextBatch()
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			return h.Err()
+		}
+		live := h.BeginStep(batch)
+		for _, t := range live {
+			h.Fire(t, 0)
+		}
+		h.EndStep()
+		a.steps++
+		a.tuples += int64(len(live))
+	}
+	// Requested threads beyond what the machine can schedule are pure
+	// oversubscription overhead; Auto decides for the hardware it is on,
+	// even if an explicit --threads asked for more.
+	threads := a.cfg.threads()
+	if p := runtime.GOMAXPROCS(0); threads > p {
+		threads = p
+	}
+	s := Choose(float64(a.tuples)/float64(a.steps), threads)
+	if s == ForkJoin && a.cfg.Pool == nil {
+		s = Pipelined
+	}
+	// Build the chosen executor with the clamped count too, or a Pipelined
+	// upgrade would spawn the unclamped number of consumers.
+	a.cfg.Threads = threads
+	next, err := New(s, a.cfg)
+	if err != nil {
+		return err
+	}
+	a.chosen = next
+	return a.chosen.Drain(h)
+}

@@ -1,0 +1,161 @@
+package exec_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/jstar-lang/jstar/internal/apps/matmult"
+	"github.com/jstar-lang/jstar/internal/apps/median"
+	"github.com/jstar-lang/jstar/internal/apps/pvwatts"
+	"github.com/jstar-lang/jstar/internal/apps/shortestpath"
+	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/exec"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// strategies is the full menu the parity suite sweeps. Every app must
+// produce identical results and final Gamma contents under each.
+var strategies = []exec.Strategy{exec.Sequential, exec.ForkJoin, exec.Pipelined}
+
+const parityThreads = 4
+
+// gammaSnapshot renders every table's final contents as a sorted line set,
+// so two runs can be compared table by table regardless of store backend
+// or insertion order.
+func gammaSnapshot(t *testing.T, run *core.Run) map[string][]string {
+	t.Helper()
+	out := make(map[string][]string)
+	for _, s := range run.Program().Tables() {
+		var lines []string
+		run.Gamma().Table(s).Scan(func(tp *tuple.Tuple) bool {
+			line := s.Name + "("
+			for i := 0; i < s.Arity(); i++ {
+				if i > 0 {
+					line += ","
+				}
+				line += fmt.Sprint(tp.Field(i))
+			}
+			lines = append(lines, line+")")
+			return true
+		})
+		sort.Strings(lines)
+		out[s.Name] = lines
+	}
+	return out
+}
+
+func assertSameGamma(t *testing.T, strategy exec.Strategy, want, got map[string][]string) {
+	t.Helper()
+	for table, w := range want {
+		g := got[table]
+		if len(w) != len(g) {
+			t.Errorf("%v: table %s has %d tuples, sequential had %d", strategy, table, len(g), len(w))
+			continue
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Errorf("%v: table %s differs at tuple %d: %s vs %s", strategy, table, i, g[i], w[i])
+				break
+			}
+		}
+	}
+}
+
+func TestParityMatMult(t *testing.T) {
+	const n = 24
+	ref, err := matmult.RunJStar(matmult.RunOpts{N: n, Strategy: exec.Sequential, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refGamma := gammaSnapshot(t, ref.Run)
+	for _, s := range strategies[1:] {
+		got, err := matmult.RunJStar(matmult.RunOpts{N: n, Strategy: s, Threads: parityThreads, Seed: 42})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !reflect.DeepEqual(ref.C, got.C) {
+			t.Errorf("%v: product matrix differs from sequential", s)
+		}
+		assertSameGamma(t, s, refGamma, gammaSnapshot(t, got.Run))
+	}
+}
+
+func TestParityMedian(t *testing.T) {
+	opts := median.RunOpts{N: 20000, Regions: 6, Seed: 42}
+	opts.Strategy = exec.Sequential
+	ref, err := median.RunJStar(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range strategies[1:] {
+		opts.Strategy = s
+		opts.Threads = parityThreads
+		got, err := median.RunJStar(opts)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if ref.Median != got.Median {
+			t.Errorf("%v: median = %v, sequential = %v", s, got.Median, ref.Median)
+		}
+	}
+}
+
+func TestParityPvWatts(t *testing.T) {
+	csv := pvwatts.GenerateCSV(1, false, 42)
+	ref, err := pvwatts.RunJStar(csv, pvwatts.RunOpts{Strategy: exec.Sequential, NoDelta: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refGamma := gammaSnapshot(t, ref.Run)
+	for _, s := range strategies[1:] {
+		got, err := pvwatts.RunJStar(csv, pvwatts.RunOpts{
+			Strategy: s, Threads: parityThreads, NoDelta: true})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !reflect.DeepEqual(ref.Means, got.Means) {
+			t.Errorf("%v: monthly means differ from sequential:\n%v\nvs\n%v", s, got.Means, ref.Means)
+		}
+		assertSameGamma(t, s, refGamma, gammaSnapshot(t, got.Run))
+	}
+}
+
+func TestParityShortestPath(t *testing.T) {
+	gen := shortestpath.GenOpts{Vertices: 600, Extra: 1200, Tasks: 8, Seed: 42}
+	ref, err := shortestpath.RunJStar(shortestpath.RunOpts{Gen: gen, Strategy: exec.Sequential})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range strategies[1:] {
+		got, err := shortestpath.RunJStar(shortestpath.RunOpts{
+			Gen: gen, Strategy: s, Threads: parityThreads})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !reflect.DeepEqual(ref.Dist, got.Dist) {
+			t.Errorf("%v: distances differ from sequential", s)
+		}
+	}
+}
+
+// TestParityAuto: the Auto strategy must agree with the others after its
+// mid-run upgrade, and report what it chose.
+func TestParityAuto(t *testing.T) {
+	const n = 24
+	ref, err := matmult.RunJStar(matmult.RunOpts{N: n, Strategy: exec.Sequential, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := matmult.RunJStar(matmult.RunOpts{N: n, Strategy: exec.Auto, Threads: parityThreads, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.C, got.C) {
+		t.Error("auto: product matrix differs from sequential")
+	}
+	if name := got.Run.StrategyName(); name != "auto" && name[:5] != "auto:" {
+		t.Errorf("StrategyName() = %q, want auto or auto:<chosen>", name)
+	}
+}

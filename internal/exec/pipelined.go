@@ -1,0 +1,130 @@
+package exec
+
+import (
+	"sync"
+
+	"github.com/jstar-lang/jstar/internal/disruptor"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// pipeEvent is one ring slot: a live tuple to fire, or the stop sentinel.
+// Slots are recycled in place across ring revolutions (the Disruptor's
+// no-garbage property).
+type pipeEvent struct {
+	t    *tuple.Tuple
+	host Host
+	stop bool
+}
+
+// pipelined streams each step's live tuples through a single-producer
+// Disruptor ring to a persistent consumer crew — the §6.3 PvWatts redesign
+// lifted into a general executor. Consumer i fires the events whose
+// sequence is congruent to i modulo the crew size (sharded consumption),
+// and appends puts to its own slot buffer (slot i+1; the coordinator is
+// slot 0). The coordinator publishes a batch, waits for the crew to pass
+// the cursor, then flushes — so steps stay causally ordered while the
+// per-tuple hand-off costs one atomic publish instead of a task fork.
+type pipelined struct {
+	consumers  int
+	ringSize   int
+	claimBatch int
+	wait       disruptor.WaitStrategy
+
+	ring *disruptor.Ring[pipeEvent]
+	prod *disruptor.Producer[pipeEvent]
+	wg   sync.WaitGroup
+
+	started bool
+	closed  bool
+}
+
+func newPipelined(cfg Config) *pipelined {
+	e := &pipelined{
+		consumers:  cfg.threads(),
+		ringSize:   cfg.RingSize,
+		claimBatch: cfg.ClaimBatch,
+		wait:       cfg.Wait,
+	}
+	if e.consumers < 1 {
+		e.consumers = 1
+	}
+	if e.ringSize <= 0 {
+		e.ringSize = 4096
+	}
+	if e.claimBatch <= 0 {
+		e.claimBatch = 256
+	}
+	if e.wait == nil {
+		e.wait = &disruptor.BlockingWait{}
+	}
+	return e
+}
+
+func (e *pipelined) Name() string { return "pipelined" }
+
+// start launches the consumer crew; idempotent, called on first Drain so an
+// executor that is built but never run costs nothing.
+func (e *pipelined) start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.ring = disruptor.NewRing[pipeEvent](e.ringSize, e.wait)
+	for i := 0; i < e.consumers; i++ {
+		c := e.ring.NewConsumer()
+		idx, slot := int64(i), i+1
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			c.Run(func(seq int64, ev *pipeEvent) bool {
+				if ev.stop {
+					return false
+				}
+				if seq%int64(e.consumers) == idx {
+					ev.host.Fire(ev.t, slot)
+				}
+				return true
+			})
+		}()
+	}
+	e.prod = e.ring.NewProducer(e.claimBatch)
+}
+
+func (e *pipelined) Drain(h Host) error {
+	e.start()
+	for {
+		batch, err := h.NextBatch()
+		if err != nil {
+			return err
+		}
+		if batch == nil {
+			return h.Err()
+		}
+		live := h.BeginStep(batch)
+		if len(live) == 1 {
+			// A lone tuple gains nothing from the ring round-trip; fire it
+			// on the coordinator.
+			h.Fire(live[0], 0)
+		} else {
+			for _, t := range live {
+				t := t
+				e.prod.Publish(func(ev *pipeEvent) {
+					ev.t, ev.host, ev.stop = t, h, false
+				})
+			}
+			e.ring.WaitConsumed(e.ring.Cursor())
+		}
+		h.EndStep()
+	}
+}
+
+// Close publishes the stop sentinel and joins the crew.
+func (e *pipelined) Close() {
+	if !e.started || e.closed {
+		e.closed = true
+		return
+	}
+	e.closed = true
+	e.prod.Publish(func(ev *pipeEvent) { ev.t, ev.host, ev.stop = nil, nil, true })
+	e.wg.Wait()
+}

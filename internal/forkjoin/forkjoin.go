@@ -276,6 +276,13 @@ func (p *Pool) Invoke(fns ...func(*Worker)) {
 // grain is the minimum chunk size (1 for heavy bodies, larger to amortise
 // the cursor for cheap bodies).
 func (p *Pool) For(n, grain int, body func(i int)) {
+	p.ForWorker(n, grain, func(_, i int) { body(i) })
+}
+
+// ForWorker is For with the executing worker's slot index passed to body:
+// slot 0 is the calling goroutine, slot 1+w.ID() a pool worker. The engine
+// uses the slot to give each participant its own put buffer.
+func (p *Pool) ForWorker(n, grain int, body func(slot, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -288,12 +295,16 @@ func (p *Pool) For(n, grain int, body func(i int)) {
 	}
 	if n <= chunk || p.size == 1 {
 		for i := 0; i < n; i++ {
-			body(i)
+			body(0, i)
 		}
 		return
 	}
 	var cursor atomic.Int64
-	run := func(*Worker) {
+	run := func(w *Worker) {
+		slot := 0
+		if w != nil {
+			slot = w.id + 1
+		}
 		for {
 			lo := int(cursor.Add(int64(chunk))) - chunk
 			if lo >= n {
@@ -304,7 +315,7 @@ func (p *Pool) For(n, grain int, body func(i int)) {
 				hi = n
 			}
 			for i := lo; i < hi; i++ {
-				body(i)
+				body(slot, i)
 			}
 		}
 	}
@@ -320,7 +331,7 @@ func (p *Pool) For(n, grain int, body func(i int)) {
 		p.global.push(t)
 	}
 	p.signal()
-	run(nil) // caller participates
+	run(nil) // caller participates as slot 0
 	for _, t := range tasks {
 		p.Join(t)
 	}

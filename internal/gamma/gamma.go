@@ -381,8 +381,58 @@ func (st *arrayHashStore) Select(q Query, fn func(*tuple.Tuple) bool) {
 	})
 }
 
+// BatchStore is an optional Store extension: InsertBatch inserts a
+// schema-homogeneous run of tuples, appending the inserted (non-duplicate)
+// ones to live, under a single synchronisation episode where the backend
+// allows it. Callers should pass the run sorted by field values so ordered
+// backends insert with locality.
+type BatchStore interface {
+	InsertBatch(ts []*tuple.Tuple, live []*tuple.Tuple) []*tuple.Tuple
+}
+
+// InsertBatch inserts ts into st via its BatchStore fast path when
+// available, falling back to per-tuple Insert. Inserted tuples are appended
+// to live, which is returned.
+func InsertBatch(st Store, ts []*tuple.Tuple, live []*tuple.Tuple) []*tuple.Tuple {
+	if bs, ok := st.(BatchStore); ok {
+		return bs.InsertBatch(ts, live)
+	}
+	for _, t := range ts {
+		if st.Insert(t) {
+			live = append(live, t)
+		}
+	}
+	return live
+}
+
+// InsertBatch takes the tree lock once for the whole run of tuples instead
+// of once per tuple — the Gamma half of the engine's batched put path.
+func (st *navSeqStore) InsertBatch(ts []*tuple.Tuple, live []*tuple.Tuple) []*tuple.Tuple {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, t := range ts {
+		if st.t.Insert(t) {
+			live = append(live, t)
+		}
+	}
+	return live
+}
+
+// denseEntry pairs a registered schema with its store for the lock-free
+// DB.Table fast path.
+type denseEntry struct {
+	schema *tuple.Schema
+	store  Store
+}
+
 // DB is the Gamma database: one store per registered table.
+//
+// Tables registered up front through Register are resolved by the schema's
+// dense ID with no locking — the engine's hot path, hit on every query and
+// insert. Schemas never registered (ad-hoc tests, tools) fall back to a
+// mutex-guarded map exactly as before.
 type DB struct {
+	dense    []denseEntry // immutable after Register
 	mu       sync.RWMutex
 	stores   map[*tuple.Schema]Store
 	factory  StoreFactory            // default factory
@@ -400,15 +450,43 @@ func NewDB(factory StoreFactory) *DB {
 }
 
 // SetStore installs a per-table store factory (a data-structure hint,
-// paper stage 4). Must be called before the first tuple of that table.
+// paper stage 4). Must be called before the first tuple of that table and
+// before Register.
 func (db *DB) SetStore(table string, f StoreFactory) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.override[table] = f
 }
 
+// Register builds the dense store table for schemas, indexed by their IDs
+// (assigned densely at Program declaration time). It must be called before
+// execution starts — once registered, Table lookups for these schemas are a
+// bounds check and a pointer compare, with no lock. Stores are created
+// eagerly, honouring any SetStore hints.
+func (db *DB) Register(schemas []*tuple.Schema) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	max := -1
+	for _, s := range schemas {
+		if id := int(s.ID()); id > max {
+			max = id
+		}
+	}
+	db.dense = make([]denseEntry, max+1)
+	for _, s := range schemas {
+		f := db.factory
+		if of, ok := db.override[s.Name]; ok {
+			f = of
+		}
+		db.dense[s.ID()] = denseEntry{schema: s, store: f(s)}
+	}
+}
+
 // Table returns (creating on first use) the store for s.
 func (db *DB) Table(s *tuple.Schema) Store {
+	if id := int(s.ID()); id < len(db.dense) && db.dense[id].schema == s {
+		return db.dense[id].store
+	}
 	db.mu.RLock()
 	st, ok := db.stores[s]
 	db.mu.RUnlock()
@@ -437,6 +515,11 @@ func (db *DB) Len() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	n := 0
+	for _, e := range db.dense {
+		if e.store != nil {
+			n += e.store.Len()
+		}
+	}
 	for _, st := range db.stores {
 		n += st.Len()
 	}

@@ -14,8 +14,11 @@ import (
 func TestExamplePrograms(t *testing.T) {
 	dir := filepath.Join("..", "..", "examples", "programs")
 	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		t.Skipf("skipping golden programs: %s does not exist (source checkout without examples)", dir)
+	}
 	if err != nil {
-		t.Fatalf("examples/programs missing: %v", err)
+		t.Fatalf("examples/programs unreadable: %v", err)
 	}
 	want := map[string]func(t *testing.T, out []string){
 		"ship.jstar": func(t *testing.T, out []string) {

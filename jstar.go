@@ -28,13 +28,41 @@
 //	run, err := p.Execute(jstar.Options{})
 //
 // Parallelism strategy and data-structure choices are runtime options, not
-// program changes: Options.Sequential, Options.Threads, Options.NoDelta,
-// Options.NoGamma, and Program.GammaHint correspond to the paper's compiler
-// flags (-sequential, --threads, -noDelta T, -noGamma T, custom stores).
+// program changes: Options.Strategy, Options.Sequential, Options.Threads,
+// Options.NoDelta, Options.NoGamma, and Program.GammaHint correspond to the
+// paper's compiler flags (-sequential, --threads, -noDelta T, -noGamma T,
+// custom stores).
+//
+// # Execution strategies and batched puts
+//
+// Options.Strategy selects the execution engine behind one Executor
+// interface (internal/exec):
+//
+//   - StrategySequential — a single-threaded step loop, the -sequential
+//     code generator.
+//   - StrategyForkJoin — each step's minimal batch fires across a
+//     work-stealing fork/join pool (the paper's parallel default, §5).
+//   - StrategyPipelined — firings stream through a Disruptor ring buffer
+//     to a persistent consumer crew (the §6.3 redesign, generalised).
+//   - StrategyAuto (zero value) — the run warms up sequentially, observes
+//     the mean batch size, and upgrades itself to the strategy the §1.5
+//     statistics heuristic recommends.
+//
+// All strategies share the batched put protocol: a rule firing appends new
+// tuples to a per-worker put buffer instead of locking the global Delta
+// tree, and the coordinator flushes every buffer as one sorted batch at
+// the step boundary (Tree.PutBatch, gamma batch inserts). Batching does
+// not change program semantics — tuples put during step k become visible
+// to extraction exactly at the k/k+1 boundary, as before — it only removes
+// per-put lock traffic from the hot path. The observable differences are
+// beneficial: sequential runs fire batch-mates in deterministic sorted
+// order, and duplicate elimination happens at flush time (counted in
+// RunStats exactly once per discarded put).
 package jstar
 
 import (
 	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/gamma"
 	"github.com/jstar-lang/jstar/internal/tuple"
 )
@@ -73,7 +101,28 @@ type (
 	Store = gamma.Store
 	// StoreFactory builds a Store for a schema (a data-structure hint).
 	StoreFactory = gamma.StoreFactory
+
+	// Strategy selects the execution engine for a run (Options.Strategy).
+	Strategy = exec.Strategy
 )
+
+// Execution strategies (see the package comment).
+const (
+	// StrategyAuto warms up sequentially and picks from observed batch
+	// statistics.
+	StrategyAuto = exec.Auto
+	// StrategySequential fires every rule on one goroutine.
+	StrategySequential = exec.Sequential
+	// StrategyForkJoin fires each step batch across a work-stealing pool.
+	StrategyForkJoin = exec.ForkJoin
+	// StrategyPipelined streams firings through a Disruptor ring to a
+	// persistent consumer crew.
+	StrategyPipelined = exec.Pipelined
+)
+
+// ParseStrategy parses a -strategy flag value
+// (auto|sequential|forkjoin|pipelined).
+func ParseStrategy(s string) (Strategy, error) { return exec.ParseStrategy(s) }
 
 // NewProgram returns an empty program.
 func NewProgram() *Program { return core.NewProgram() }
