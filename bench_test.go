@@ -11,6 +11,8 @@ package jstar_test
 
 import (
 	"fmt"
+	jstar "github.com/jstar-lang/jstar"
+	"sync/atomic"
 	"testing"
 
 	"github.com/jstar-lang/jstar/internal/apps/matmult"
@@ -251,6 +253,49 @@ func BenchmarkFig13_Median(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// --- Dispatch overhead ---------------------------------------------------------
+
+// BenchmarkDispatch_PerFiring isolates the engine's per-firing dispatch cost:
+// one step whose batch holds dispatchBatch trivial-bodied firings, so the
+// measured time is dominated by rule lookup, stats accounting, Ctx setup and
+// scheduling hand-off rather than rule work. The reported ns/firing metric is
+// the number the batched FireBatch path exists to shrink.
+func BenchmarkDispatch_PerFiring(b *testing.B) {
+	const dispatchBatch = 4096
+	for _, strat := range []jstar.Strategy{
+		jstar.StrategySequential, jstar.StrategyForkJoin, jstar.StrategyPipelined,
+	} {
+		b.Run(strat.String(), func(b *testing.B) {
+			var sink2 atomic.Int64 // rule bodies fire concurrently
+			for i := 0; i < b.N; i++ {
+				p := jstar.NewProgram()
+				src := p.Table("Src", jstar.Cols(jstar.IntCol("n")),
+					jstar.OrderBy(jstar.Lit("Src")))
+				work := p.Table("Work", jstar.Cols(jstar.IntCol("i")),
+					jstar.OrderBy(jstar.Lit("Work")))
+				p.Order("Src", "Work")
+				p.Rule("fanout", src, func(c *jstar.Ctx, t *jstar.Tuple) {
+					for j := int64(0); j < t.Int("n"); j++ {
+						c.PutNew(work, jstar.Int(j))
+					}
+				})
+				p.Rule("noop", work, func(c *jstar.Ctx, t *jstar.Tuple) {
+					sink2.Add(t.Int("i"))
+				})
+				p.Put(jstar.New(src, jstar.Int(dispatchBatch)))
+				run, err := p.Execute(jstar.Options{Strategy: strat, Threads: 4, Quiet: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := run.Stats().TotalFired; got != dispatchBatch+1 {
+					b.Fatalf("TotalFired = %d, want %d", got, dispatchBatch+1)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/dispatchBatch, "ns/firing")
 		})
 	}
 }

@@ -16,16 +16,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/jstar-lang/jstar/internal/apps/matmult"
 	"github.com/jstar-lang/jstar/internal/apps/median"
 	"github.com/jstar-lang/jstar/internal/apps/pvwatts"
 	"github.com/jstar-lang/jstar/internal/apps/shortestpath"
+	"github.com/jstar-lang/jstar/internal/core"
 	"github.com/jstar-lang/jstar/internal/disruptor"
 	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/fastcsv"
@@ -52,10 +55,15 @@ func main() {
 	spV := flag.Int("sp-vertices", 20000, "Dijkstra vertices (paper: 1,000,000)")
 	medN := flag.Int("median-n", 1000000, "median array size (paper: 100,000,000)")
 	repeats := flag.Int("repeats", 3, "measurement repetitions (min taken)")
-	strategyFlag := flag.String("strategy", "auto", "execution strategy for parallel sweeps: auto|sequential|forkjoin|pipelined")
+	strategyFlag := flag.String("strategy", "auto",
+		"execution strategy for parallel sweeps: "+strings.Join(exec.StrategyNames(), "|"))
 	maxThreads := flag.Int("max-threads", 2*runtime.NumCPU(), "largest pool size in sweeps")
+	smoke := flag.Bool("smoke", false, "quick CI smoke run; with -json it writes the perf-trajectory artifact")
+	jsonPath := flag.String("json", "", "write smoke results as JSON (strategy, GOMAXPROCS, batch-size histogram) to this file")
 	flag.Parse()
 
+	// Validate before running anything: an unknown -strategy must abort
+	// with the legal names, never fall back to Auto silently.
 	strat, err := exec.ParseStrategy(*strategyFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -118,6 +126,10 @@ func main() {
 	}
 	if want("strategies") {
 		strategiesTable(cfg)
+	}
+	if *smoke {
+		ran = true
+		smokeRun(cfg, *jsonPath)
 	}
 	if !ran {
 		flag.Usage()
@@ -433,6 +445,99 @@ func fig13(cfg config) {
 				must(err)
 			})
 		})
+}
+
+// --- CI smoke artifact -------------------------------------------------------
+
+// smokeResult is one measured program in the benchmark-smoke JSON artifact.
+type smokeResult struct {
+	Name          string           `json:"name"`
+	Threads       int              `json:"threads"`
+	ElapsedNs     int64            `json:"elapsed_ns"` // min over repeats
+	Steps         int64            `json:"steps"`
+	TotalFired    int64            `json:"total_fired"`
+	FireBatches   int64            `json:"fire_batches"`
+	MeanFireChunk float64          `json:"mean_fire_chunk"`
+	NsPerFiring   float64          `json:"ns_per_firing"`
+	BatchHist     map[string]int64 `json:"batch_hist"`
+}
+
+// smokeArtifact is the BENCH_*.json schema CI uploads per run, so the
+// perf trajectory (and the batch-size distributions feeding store
+// auto-tuning) accumulates across commits.
+type smokeArtifact struct {
+	Schema     int           `json:"schema"`
+	Strategy   string        `json:"strategy"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"numcpu"`
+	GoVersion  string        `json:"go_version"`
+	Repeats    int           `json:"repeats"`
+	Runs       []smokeResult `json:"runs"`
+}
+
+// smokeRun measures small fixed workloads under the configured strategy and
+// (with -json) writes the machine-readable artifact. Counters come from the
+// minimum-elapsed run, so ns_per_firing matches elapsed_ns.
+func smokeRun(cfg config, jsonPath string) {
+	fmt.Println("== Benchmark smoke (CI artifact) ==")
+	art := smokeArtifact{
+		Schema:     1,
+		Strategy:   cfg.strategy.String(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Repeats:    cfg.repeats,
+	}
+	threads := runtime.NumCPU()
+	csv := pvwatts.GenerateCSV(1, false, 42)
+	measure := func(name string, run func() *core.Run) {
+		var best time.Duration = 1<<62 - 1
+		var stats *core.RunStats
+		for i := 0; i < cfg.repeats; i++ {
+			start := time.Now()
+			r := run()
+			if d := time.Since(start); d < best {
+				best = d
+				stats = r.Stats()
+			}
+		}
+		res := smokeResult{
+			Name:          name,
+			Threads:       threads,
+			ElapsedNs:     best.Nanoseconds(),
+			Steps:         stats.Steps,
+			TotalFired:    stats.TotalFired,
+			FireBatches:   stats.FireBatches.Load(),
+			MeanFireChunk: stats.MeanFireChunk(),
+			BatchHist:     stats.BatchHistogram(),
+		}
+		if stats.TotalFired > 0 {
+			res.NsPerFiring = float64(best.Nanoseconds()) / float64(stats.TotalFired)
+		}
+		art.Runs = append(art.Runs, res)
+		fmt.Printf("%-10s %12v  fired=%d  chunks=%d  mean-chunk=%.1f  ns/firing=%.0f\n",
+			name, best.Round(time.Microsecond), res.TotalFired, res.FireBatches,
+			res.MeanFireChunk, res.NsPerFiring)
+	}
+	measure("matmult", func() *core.Run {
+		r, err := matmult.RunJStar(matmult.RunOpts{N: 96, Strategy: cfg.strategy, Threads: threads, Seed: 42})
+		must(err)
+		return r.Run
+	})
+	measure("pvwatts", func() *core.Run {
+		// Without -noDelta so the readings flow through the Delta set and the
+		// batched dispatch path (with -noDelta they fire inline per §5.1).
+		r, err := pvwatts.RunJStar(csv, pvwatts.RunOpts{Strategy: cfg.strategy, Threads: threads})
+		must(err)
+		return r.Run
+	})
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		must(err)
+		must(os.WriteFile(jsonPath, append(data, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	fmt.Println()
 }
 
 // --- Strategy shoot-out: the pluggable execution layer -----------------------

@@ -23,7 +23,8 @@ import (
 
 func main() {
 	sequential := flag.Bool("sequential", false, "generate sequential code")
-	strategy := flag.String("strategy", "auto", "execution strategy: auto|sequential|forkjoin|pipelined")
+	strategy := flag.String("strategy", "auto",
+		"execution strategy: "+strings.Join(exec.StrategyNames(), "|"))
 	threads := flag.Int("threads", 0, "fork/join pool size (0 = NumCPU)")
 	noDelta := flag.String("noDelta", "", "comma-separated tables to bypass the Delta set")
 	noGamma := flag.String("noGamma", "", "comma-separated trigger-only tables")
@@ -35,6 +36,12 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: jstar [flags] program.jstar")
 		os.Exit(2)
+	}
+	// Validate before doing any work: an unknown -strategy must abort with
+	// the legal names, never fall back to Auto silently.
+	strat, err := exec.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -58,10 +65,6 @@ func main() {
 			fmt.Fprint(os.Stderr, causality.Report(obs))
 			fmt.Fprintln(os.Stderr, "jstar: warning: unproved causality obligations (running anyway; use -runtimeCheck to trap violations)")
 		}
-	}
-	strat, err := exec.ParseStrategy(*strategy)
-	if err != nil {
-		fatal(err)
 	}
 	opts := core.Options{
 		Sequential:     *sequential,

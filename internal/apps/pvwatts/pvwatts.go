@@ -199,12 +199,21 @@ func Program(csv []byte, opts RunOpts) (*core.Program, *core.Options, func(*core
 	})
 
 	// foreach (PvWatts pv) { put new SumMonth(pv.year, pv.month); }
-	p.Rule("monthly", pv, func(c *core.Ctx, t *tuple.Tuple) {
+	monthly := p.Rule("monthly", pv, func(c *core.Ctx, t *tuple.Tuple) {
 		c.PutNew(sum, t.Get("year"), t.Get("month"))
 	})
+	// Batch body: without -noDelta every PvWatts reading flows through the
+	// Delta set and fires here in huge step batches; one Ctx and one
+	// dispatch per chunk replaces one of each per reading.
+	monthly.BatchBody = func(c *core.Ctx, ts []*tuple.Tuple) {
+		for _, t := range ts {
+			c.Bind(t)
+			c.PutNew(sum, t.Get("year"), t.Get("month"))
+		}
+	}
 
 	// foreach (SumMonth s) { Statistics over get PvWatts(s.year, s.month) }
-	p.Rule("reduce", sum, func(c *core.Ctx, s *tuple.Tuple) {
+	reduceRule := p.Rule("reduce", sum, func(c *core.Ctx, s *tuple.Tuple) {
 		q := gamma.Query{Prefix: []tuple.Value{s.Get("year"), s.Get("month")}}
 		var stats *reduce.Statistics
 		pool, havePool := c.Pool().(*forkjoin.Pool)
@@ -226,6 +235,29 @@ func Program(csv []byte, opts RunOpts) (*core.Program, *core.Options, func(*core
 		}
 		c.PutNew(res, s.Get("year"), s.Get("month"), tuple.Float(stats.Mean()))
 	})
+	if !opts.ParallelReduce {
+		// Batch body: a chunk of SumMonth firings becomes one batched probe
+		// sequence against the PvWatts store (ForEachBatch/SelectBatch) —
+		// one lock episode and one pre-hashed probe loop per chunk instead
+		// of an independent Select per month. ParallelReduce keeps the
+		// per-tuple body: it fans each reducer loop out across the pool.
+		reduceRule.BatchBody = func(c *core.Ctx, ts []*tuple.Tuple) {
+			qs := make([]gamma.Query, len(ts))
+			accs := make([]*reduce.Statistics, len(ts))
+			for i, s := range ts {
+				qs[i] = gamma.Query{Prefix: []tuple.Value{s.Get("year"), s.Get("month")}}
+				accs[i] = reduce.NewStatistics()
+			}
+			c.ForEachBatch(pv, qs, ts, func(qi int, r *tuple.Tuple) bool {
+				accs[qi].Add(float64(r.Int("power")))
+				return true
+			})
+			for i, s := range ts {
+				c.Bind(s)
+				c.PutNew(res, s.Get("year"), s.Get("month"), tuple.Float(accs[i].Mean()))
+			}
+		}
+	}
 
 	p.Put(tuple.New(req, tuple.String_("large1000.csv")))
 

@@ -22,6 +22,12 @@ type Ctx struct {
 // Trigger returns the tuple that fired this rule (nil for initial puts).
 func (c *Ctx) Trigger() *tuple.Tuple { return c.trigger }
 
+// Bind sets the trigger tuple that subsequent Puts are attributed to and
+// causality-checked against. Rule batch bodies (Rule.BatchBody) call it as
+// they move through their chunk, since one Ctx now spans many logical
+// firings; per-tuple bodies never need it (the engine binds for them).
+func (c *Ctx) Bind(t *tuple.Tuple) { c.trigger = t }
+
 // Put adds a new tuple to the database: it is appended to this worker's
 // put buffer and flushed into the Delta set as part of the step-boundary
 // batch (or, under -noDelta, inserted into Gamma and fired inline). Under
@@ -57,6 +63,35 @@ func (c *Ctx) ForEach(s *tuple.Schema, q gamma.Query, fn func(t *tuple.Tuple) bo
 	c.run.gammaDB.Table(s).Select(q, func(t *tuple.Tuple) bool {
 		c.checkResult(t)
 		return fn(t)
+	})
+}
+
+// ForEachBatch runs a sequence of positive queries against table s as one
+// batched probe (gamma.SelectBatch) — the read-side counterpart of the
+// batched firing path, used by rule batch bodies so a chunk of firings
+// issues one probe sequence instead of len(qs) independent Selects. fn is
+// called with the query index and each of that query's matches, per query
+// in index order; returning false stops that query's iteration only.
+//
+// triggers, when non-nil, must hold one trigger tuple per query: each
+// query's results are then causality-checked against — and Puts made from
+// fn attributed to — its own trigger, exactly as if the queries had run in
+// separate firings. Table query statistics count len(qs) queries in one
+// update.
+func (c *Ctx) ForEachBatch(s *tuple.Schema, qs []gamma.Query, triggers []*tuple.Tuple, fn func(qi int, t *tuple.Tuple) bool) {
+	if len(qs) == 0 {
+		return
+	}
+	if triggers != nil && len(triggers) != len(qs) {
+		panic(fmt.Sprintf("jstar: ForEachBatch on %s: %d triggers for %d queries", s.Name, len(triggers), len(qs)))
+	}
+	c.run.tableStats(s).Queries.Add(int64(len(qs)))
+	gamma.SelectBatch(c.run.gammaDB.Table(s), qs, func(qi int, t *tuple.Tuple) bool {
+		if triggers != nil {
+			c.trigger = triggers[qi]
+		}
+		c.checkResult(t)
+		return fn(qi, t)
 	})
 }
 

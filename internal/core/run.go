@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -26,6 +27,11 @@ type TableStats struct {
 	Queries    atomic.Int64 // Gamma queries against this table
 }
 
+// batchBuckets is the number of power-of-two buckets in the fire-chunk
+// histogram: bucket i counts chunks of size [2^i, 2^(i+1)), with the last
+// bucket open-ended.
+const batchBuckets = 16
+
 // RunStats aggregates statistics across a run.
 type RunStats struct {
 	Steps      int64 // execution steps (minimum-batch extractions)
@@ -35,6 +41,15 @@ type RunStats struct {
 	Elapsed    time.Duration
 	Tables     map[string]*TableStats
 	RuleNanos  map[string]*atomic.Int64 // cumulative body time per rule
+
+	// FireBatches counts batched dispatch calls (FireBatch chunks); with
+	// TotalLive it gives the mean chunk size the executor achieved —
+	// the dispatch-amortisation analogue of TotalLive/Steps, and the
+	// store-auto-tuning input recorded per the §1.5 logging loop.
+	FireBatches atomic.Int64
+	// fireHist buckets observed FireBatch chunk sizes by power of two;
+	// read it through BatchHistogram.
+	fireHist [batchBuckets]atomic.Int64
 
 	// flowMu guards Flow, the observed dataflow edges rule -> table
 	// (tuples put by each rule into each table). Populated only under
@@ -62,6 +77,50 @@ func (s *RunStats) addFlow(rule, table string) {
 	}
 	s.Flow[[2]string{rule, table}]++
 	s.flowMu.Unlock()
+}
+
+// recordFireChunk logs one batched dispatch of n tuples.
+func (s *RunStats) recordFireChunk(n int) {
+	s.FireBatches.Add(1)
+	b := bits.Len(uint(n)) - 1
+	if b >= batchBuckets {
+		b = batchBuckets - 1
+	}
+	s.fireHist[b].Add(1)
+}
+
+// MeanFireChunk returns the mean tuples per FireBatch dispatch — how well
+// the executor amortised per-tuple overhead. 0 before any dispatch.
+func (s *RunStats) MeanFireChunk() float64 {
+	b := s.FireBatches.Load()
+	if b == 0 {
+		return 0
+	}
+	return float64(s.TotalLive) / float64(b)
+}
+
+// BatchHistogram returns the observed FireBatch chunk sizes in power-of-two
+// buckets keyed "1", "2-3", "4-7", … — the batch-size log that feeds
+// store and strategy auto-tuning (and the jstar-bench JSON artifact).
+// Empty buckets are omitted.
+func (s *RunStats) BatchHistogram() map[string]int64 {
+	out := make(map[string]int64)
+	for i := 0; i < batchBuckets; i++ {
+		n := s.fireHist[i].Load()
+		if n == 0 {
+			continue
+		}
+		lo := 1 << i
+		hi := lo*2 - 1
+		key := fmt.Sprintf("%d-%d", lo, hi)
+		if lo == hi {
+			key = fmt.Sprintf("%d", lo)
+		} else if i == batchBuckets-1 {
+			key = fmt.Sprintf("%d+", lo)
+		}
+		out[key] = n
+	}
+	return out
 }
 
 // SuggestStrategy recommends an executor strategy for re-running the same
@@ -102,6 +161,7 @@ type Run struct {
 	threads  int
 
 	slots    []putSlot
+	slotCtx  []Ctx          // per-slot reusable rule contexts for fireBatch
 	flushBuf []*tuple.Tuple // coordinator-only scratch for endStep
 
 	// Dense per-schema-ID tables replacing map lookups on the hot path.
@@ -206,6 +266,12 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 	}
 	r.executor = ex
 	r.slots = make([]putSlot, r.threads+1)
+	// One reusable Ctx per slot: the batched firing path re-points its
+	// rule/trigger fields per group instead of allocating a Ctx per firing.
+	r.slotCtx = make([]Ctx, r.threads+1)
+	for i := range r.slotCtx {
+		r.slotCtx[i] = Ctx{run: r, slot: i}
+	}
 	return r, nil
 }
 
@@ -280,7 +346,7 @@ type runHost struct{ r *Run }
 
 func (h runHost) NextBatch() ([]*tuple.Tuple, error)        { return h.r.nextBatch() }
 func (h runHost) BeginStep(b []*tuple.Tuple) []*tuple.Tuple { return h.r.beginStep(b) }
-func (h runHost) Fire(t *tuple.Tuple, slot int)             { h.r.fire(t, slot) }
+func (h runHost) FireBatch(ts []*tuple.Tuple, slot int)     { h.r.fireBatch(ts, slot) }
 func (h runHost) EndStep()                                  { h.r.endStep() }
 func (h runHost) Err() error                                { return h.r.loadFail() }
 
@@ -423,16 +489,81 @@ func (r *Run) runActions(batch []*tuple.Tuple) {
 	}
 }
 
-// fire runs every rule triggered by t, buffering puts under slot.
+// fireBatch runs every rule triggered by each tuple of ts, buffering puts
+// under slot — the batch-first dispatch path behind exec.Host.FireBatch.
+// The chunk arrives sorted by schema (BeginStep's ordering), so it splits
+// into schema-homogeneous runs; each run pays its rulesByID/statsByID
+// lookups, Triggers/TotalFired accounting and Ctx setup once, and rules
+// that provide a BatchBody receive the whole run in one invocation.
+func (r *Run) fireBatch(ts []*tuple.Tuple, slot int) {
+	if len(ts) == 0 {
+		return
+	}
+	r.stats.recordFireChunk(len(ts))
+	ctx := &r.slotCtx[slot]
+	var fired int64
+	for i := 0; i < len(ts); {
+		s := ts[i].Schema()
+		j := i + 1
+		for j < len(ts) && ts[j].Schema() == s {
+			j++
+		}
+		group := ts[i:j]
+		i = j
+		rules := r.rulesByID[s.ID()]
+		if len(rules) == 0 {
+			continue
+		}
+		n := int64(len(rules)) * int64(len(group))
+		r.statsByID[s.ID()].Triggers.Add(n)
+		fired += n
+		for _, rule := range rules {
+			r.invokeGroup(ctx, rule, group)
+		}
+	}
+	if fired > 0 {
+		atomic.AddInt64(&r.stats.TotalFired, fired)
+	}
+}
+
+// invokeGroup fires one rule over a schema-homogeneous group of triggers,
+// through its BatchBody when it has one, else tuple by tuple. One recover
+// guards the group: a rule panic fails the run, so finishing the group's
+// remaining tuples would be wasted work.
+func (r *Run) invokeGroup(ctx *Ctx, rule *Rule, ts []*tuple.Tuple) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.setFail(fmt.Errorf("jstar: rule %s on %v panicked: %v", rule.Name, ctx.trigger, p))
+		}
+	}()
+	ctx.rule = rule
+	start := time.Now()
+	if rule.BatchBody != nil {
+		ctx.trigger = nil // batch bodies Bind their own triggers
+		rule.BatchBody(ctx, ts)
+	} else {
+		for _, t := range ts {
+			ctx.trigger = t
+			rule.Body(ctx, t)
+		}
+	}
+	if n := r.stats.RuleNanos[rule.Name]; n != nil {
+		n.Add(int64(time.Since(start)))
+	}
+}
+
+// fire runs every rule triggered by t, buffering puts under slot — the
+// per-tuple path kept for -noDelta inline firing, where tuples fire on
+// the producing task the moment they enter Gamma (§5.1) and cannot wait
+// to be chunked. Accounting is still folded to one update per counter.
 func (r *Run) fire(t *tuple.Tuple, slot int) {
 	rules := r.rulesByID[t.Schema().ID()]
 	if len(rules) == 0 {
 		return
 	}
-	st := r.statsByID[t.Schema().ID()]
+	r.statsByID[t.Schema().ID()].Triggers.Add(int64(len(rules)))
+	atomic.AddInt64(&r.stats.TotalFired, int64(len(rules)))
 	for _, rule := range rules {
-		st.Triggers.Add(1)
-		atomic.AddInt64(&r.stats.TotalFired, 1)
 		r.invoke(rule, t, slot)
 	}
 }
@@ -443,6 +574,8 @@ func (r *Run) invoke(rule *Rule, t *tuple.Tuple, slot int) {
 			r.setFail(fmt.Errorf("jstar: rule %s on %v panicked: %v", rule.Name, t, p))
 		}
 	}()
+	// A fresh Ctx, not the slot's shared one: inline -noDelta fires nest
+	// inside a rule body that is still using the slot Ctx.
 	ctx := &Ctx{run: r, rule: rule, trigger: t, slot: slot}
 	start := time.Now()
 	rule.Body(ctx, t)

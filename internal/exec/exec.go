@@ -20,16 +20,35 @@
 // Choose heuristic — the §1.5 idea of using run logs to select strategies,
 // folded into a single run.
 //
-// All strategies execute against the Host interface and share its batched
-// put protocol: rule firings append new tuples to per-worker put buffers
-// (identified by the slot index passed to Fire), and the coordinator
-// flushes every buffer into the Delta tree as one sorted batch at the step
-// boundary (EndStep). No firing ever takes the Delta-tree lock.
+// # The batch-first Host contract
+//
+// All strategies execute against the Host interface, and dispatch is
+// batch-first on both sides of a firing:
+//
+//   - Writes: rule firings append new tuples to per-worker put buffers
+//     (identified by the slot index passed to FireBatch), and the
+//     coordinator flushes every buffer into the Delta tree as one sorted
+//     batch at the step boundary (EndStep). No firing ever takes the
+//     Delta-tree lock.
+//   - Dispatch: a strategy never hands tuples to the engine one at a time.
+//     It partitions each step's live batch into contiguous chunks — grain-
+//     sized chunks claimed by pool workers for ForkJoin, ring segments for
+//     Pipelined — and passes each whole chunk to one FireBatch call. The
+//     engine amortises rule lookup, statistics accounting and rule-context
+//     setup over the chunk, and rules that provide a batch body (see
+//     core.Rule.BatchBody) receive the chunk in a single invocation. This
+//     is the Disruptor discipline of always consuming the full available
+//     batch, applied to rule dispatch.
+//
+// Within one step the firing order of chunks (and of tuples inside a
+// chunk) is unspecified, exactly as the paper specifies for one parallel
+// batch; only the causal step boundaries order execution.
 package exec
 
 import (
 	"fmt"
 	"runtime"
+	"strings"
 
 	"github.com/jstar-lang/jstar/internal/disruptor"
 	"github.com/jstar-lang/jstar/internal/tuple"
@@ -67,7 +86,15 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
-// ParseStrategy parses a -strategy flag value.
+// StrategyNames lists the canonical -strategy flag spellings, in menu
+// order. Command-line tools use it to build usage strings and rejection
+// messages, so the legal set lives in exactly one place.
+func StrategyNames() []string {
+	return []string{"auto", "sequential", "forkjoin", "pipelined"}
+}
+
+// ParseStrategy parses a -strategy flag value. Unknown values are an
+// error that lists the legal names; they never fall back silently.
 func ParseStrategy(s string) (Strategy, error) {
 	switch s {
 	case "", "auto":
@@ -79,14 +106,16 @@ func ParseStrategy(s string) (Strategy, error) {
 	case "pipelined", "pipeline", "disruptor":
 		return Pipelined, nil
 	}
-	return Auto, fmt.Errorf("jstar: unknown strategy %q (want auto|sequential|forkjoin|pipelined)", s)
+	return Auto, fmt.Errorf("jstar: unknown strategy %q (valid: %s)", s, strings.Join(StrategyNames(), "|"))
 }
 
 // Host is the engine surface an Executor drives; implemented by core.Run.
-// The contract: NextBatch/BeginStep/EndStep are called by the executor's
-// coordinator goroutine only; Fire may be called from many goroutines
-// concurrently, each with a distinct slot (0 is reserved for the
-// coordinator).
+// The contract is batch-first: NextBatch/BeginStep/EndStep are called by
+// the executor's coordinator goroutine only; FireBatch may be called from
+// many goroutines concurrently, each with a distinct slot (0 is reserved
+// for the coordinator) and a chunk of the live batch BeginStep returned.
+// Chunks passed to FireBatch must partition the live batch — every live
+// tuple is fired exactly once per step.
 type Host interface {
 	// NextBatch extracts the next minimal causal equivalence class,
 	// handling step accounting, failure checks and the step limit. A nil
@@ -94,10 +123,14 @@ type Host interface {
 	NextBatch() ([]*tuple.Tuple, error)
 	// BeginStep inserts the batch into the Gamma database (batch-wise, with
 	// set-semantics dedup) and runs external actions, returning the live
-	// tuples whose rules must fire.
+	// tuples whose rules must fire. The returned slice is sorted by schema
+	// then fields, so contiguous chunks of it stay schema-clustered.
 	BeginStep(batch []*tuple.Tuple) []*tuple.Tuple
-	// Fire fires every rule triggered by t, buffering its puts under slot.
-	Fire(t *tuple.Tuple, slot int)
+	// FireBatch fires every rule triggered by each tuple of ts, buffering
+	// puts under slot. The engine amortises rule lookup and statistics over
+	// the chunk and hands schema-homogeneous runs to batch-aware rule
+	// bodies in one call.
+	FireBatch(ts []*tuple.Tuple, slot int)
 	// EndStep flushes all put buffers into the Delta tree as one sorted
 	// batch.
 	EndStep()
@@ -190,7 +223,39 @@ func Choose(avgBatch float64, threads int) Strategy {
 	return Pipelined
 }
 
-// sequential is the -sequential step loop: one goroutine, slot 0.
+// ChunkGrain returns the chunk size the parallel strategies use to
+// partition a step batch of n live tuples across `workers` participants:
+// about four chunks per worker, so the work-stealing pool (and the ring
+// crew) can rebalance skewed chunks, while each FireBatch call still
+// amortises dispatch over many tuples.
+func ChunkGrain(n, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	g := (n + 4*workers - 1) / (4 * workers)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// fireChunks partitions live into grain-sized contiguous chunks and calls
+// fire for each with the chunk's index. It is shared by the parallel
+// strategies so the partitioning (and its tests) live in one place.
+func fireChunks(live []*tuple.Tuple, grain int, fire func(chunk []*tuple.Tuple, i int)) {
+	n := len(live)
+	for i, lo := 0, 0; lo < n; i, lo = i+1, lo+grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		fire(live[lo:hi], i)
+	}
+}
+
+// sequential is the -sequential step loop: one goroutine, slot 0. The
+// whole live batch is one chunk — sequential runs pay exactly one
+// dispatch per (schema, rule) group per step.
 type sequential struct{}
 
 func (sequential) Name() string { return "sequential" }
@@ -205,16 +270,16 @@ func (sequential) Drain(h Host) error {
 		if batch == nil {
 			return h.Err()
 		}
-		live := h.BeginStep(batch)
-		for _, t := range live {
-			h.Fire(t, 0)
+		if live := h.BeginStep(batch); len(live) > 0 {
+			h.FireBatch(live, 0)
 		}
 		h.EndStep()
 	}
 }
 
-// forkJoin fires each batch across the pool — today's parallel behaviour,
-// minus the per-put Delta lock (puts go to the per-slot buffers).
+// forkJoin fires each batch across the pool in grain-sized chunks: each
+// pool participant claims whole chunks (amortised dispatch) instead of
+// single tuples (a fork per firing).
 type forkJoin struct{ pool Pool }
 
 func (e *forkJoin) Name() string { return "forkjoin" }
@@ -230,10 +295,21 @@ func (e *forkJoin) Drain(h Host) error {
 			return h.Err()
 		}
 		live := h.BeginStep(batch)
-		if len(live) == 1 {
-			h.Fire(live[0], 0)
+		grain := ChunkGrain(len(live), e.pool.Size())
+		if len(live) <= grain {
+			if len(live) > 0 {
+				h.FireBatch(live, 0)
+			}
 		} else {
-			e.pool.ForWorker(len(live), 1, func(slot, i int) { h.Fire(live[i], slot) })
+			chunks := (len(live) + grain - 1) / grain
+			e.pool.ForWorker(chunks, 1, func(slot, i int) {
+				lo := i * grain
+				hi := lo + grain
+				if hi > len(live) {
+					hi = len(live)
+				}
+				h.FireBatch(live[lo:hi], slot)
+			})
 		}
 		h.EndStep()
 	}
@@ -279,8 +355,8 @@ func (a *adaptive) Drain(h Host) error {
 			return h.Err()
 		}
 		live := h.BeginStep(batch)
-		for _, t := range live {
-			h.Fire(t, 0)
+		if len(live) > 0 {
+			h.FireBatch(live, 0)
 		}
 		h.EndStep()
 		a.steps++

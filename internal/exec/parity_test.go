@@ -12,6 +12,7 @@ import (
 	"github.com/jstar-lang/jstar/internal/apps/shortestpath"
 	"github.com/jstar-lang/jstar/internal/core"
 	"github.com/jstar-lang/jstar/internal/exec"
+	"github.com/jstar-lang/jstar/internal/gamma"
 	"github.com/jstar-lang/jstar/internal/tuple"
 )
 
@@ -136,6 +137,111 @@ func TestParityShortestPath(t *testing.T) {
 		}
 		if !reflect.DeepEqual(ref.Dist, got.Dist) {
 			t.Errorf("%v: distances differ from sequential", s)
+		}
+	}
+}
+
+// batchParityProgram builds a synthetic program that stresses the batched
+// dispatch path: one Src tuple fans out n Work tuples in a single step
+// batch, and two rules fire on every Work tuple — one with only a
+// per-tuple Body, one that also provides a BatchBody routing its point
+// queries through the batched ForEachBatch probe. Both rules look up the
+// preloaded Lookup table (inserted in an earlier causal step) and put the
+// doubled value, into OutA and OutB respectively, so the two dispatch
+// paths must produce identical relations.
+func batchParityProgram(n int) *core.Program {
+	p := core.NewProgram()
+	lit := func(name string) []tuple.OrderEntry { return []tuple.OrderEntry{tuple.Lit(name)} }
+	icol := func(name string) tuple.Column { return tuple.Column{Name: name, Kind: tuple.KindInt} }
+	lookup := p.Table("Lookup", []tuple.Column{icol("i"), icol("v")}, lit("Lookup"))
+	src := p.Table("Src", []tuple.Column{icol("n")}, lit("Src"))
+	work := p.Table("Work", []tuple.Column{icol("i")}, lit("Work"))
+	outA := p.Table("OutA", []tuple.Column{icol("i"), icol("v")}, lit("OutA"))
+	outB := p.Table("OutB", []tuple.Column{icol("i"), icol("v")}, lit("OutB"))
+	p.Order("Lookup", "Src", "Work", "OutA", "OutB")
+
+	p.Rule("fanout", src, func(c *core.Ctx, t *tuple.Tuple) {
+		for i := int64(0); i < t.Int("n"); i++ {
+			c.PutNew(work, tuple.Int(i))
+		}
+	})
+	p.Rule("plain", work, func(c *core.Ctx, t *tuple.Tuple) {
+		c.ForEach(lookup, gamma.Query{Prefix: []tuple.Value{t.Get("i")}}, func(l *tuple.Tuple) bool {
+			c.PutNew(outA, t.Get("i"), tuple.Int(2*l.Int("v")))
+			return true
+		})
+	})
+	batched := p.Rule("batched", work, func(c *core.Ctx, t *tuple.Tuple) {
+		c.ForEach(lookup, gamma.Query{Prefix: []tuple.Value{t.Get("i")}}, func(l *tuple.Tuple) bool {
+			c.PutNew(outB, t.Get("i"), tuple.Int(2*l.Int("v")))
+			return true
+		})
+	})
+	batched.BatchBody = func(c *core.Ctx, ts []*tuple.Tuple) {
+		qs := make([]gamma.Query, len(ts))
+		for i, t := range ts {
+			qs[i] = gamma.Query{Prefix: []tuple.Value{t.Get("i")}}
+		}
+		c.ForEachBatch(lookup, qs, ts, func(qi int, l *tuple.Tuple) bool {
+			c.PutNew(outB, ts[qi].Get("i"), tuple.Int(2*l.Int("v")))
+			return true
+		})
+	}
+
+	for i := int64(0); i < int64(n); i++ {
+		p.Put(tuple.New(lookup, tuple.Int(i), tuple.Int(i*i%97)))
+	}
+	p.Put(tuple.New(src, tuple.Int(int64(n))))
+	return p
+}
+
+// TestParityFireBatch runs the synthetic batch program across every
+// strategy and batch sizes chosen to straddle worker-slot chunk
+// boundaries (1 = the lone-chunk fast path; 3 < one chunk per worker;
+// 103 and 1030 split unevenly across 4 workers' grain-sized chunks). The
+// final Gamma contents, the OutA/OutB agreement (Body vs BatchBody), and
+// the folded firing counters must all match sequential execution.
+func TestParityFireBatch(t *testing.T) {
+	for _, n := range []int{1, 3, 103, 1030} {
+		var refGamma map[string][]string
+		var refFired int64
+		for si, s := range append([]exec.Strategy{exec.Sequential}, strategies[1:]...) {
+			p := batchParityProgram(n)
+			run, err := p.Execute(core.Options{Strategy: s, Threads: parityThreads, Quiet: true})
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, s, err)
+			}
+			got := gammaSnapshot(t, run)
+			wantOut := make([]string, n)
+			for i := range wantOut {
+				wantOut[i] = fmt.Sprintf("(%d,%d)", i, 2*(int64(i)*int64(i)%97))
+			}
+			sort.Strings(wantOut)
+			for _, table := range []string{"OutA", "OutB"} {
+				if len(got[table]) != n {
+					t.Fatalf("n=%d %v: table %s has %d tuples, want %d", n, s, table, len(got[table]), n)
+				}
+				for i, line := range got[table] {
+					if line != table+wantOut[i] {
+						t.Errorf("n=%d %v: %s[%d] = %s, want %s%s", n, s, table, i, line, table, wantOut[i])
+					}
+				}
+			}
+			fired := run.Stats().TotalFired
+			if want := int64(1 + 2*n); fired != want {
+				t.Errorf("n=%d %v: TotalFired = %d, want %d", n, s, fired, want)
+			}
+			if run.Stats().FireBatches.Load() == 0 {
+				t.Errorf("n=%d %v: no FireBatch dispatches recorded", n, s)
+			}
+			if si == 0 {
+				refGamma, refFired = got, fired
+				continue
+			}
+			assertSameGamma(t, s, refGamma, got)
+			if fired != refFired {
+				t.Errorf("n=%d %v: TotalFired = %d, sequential had %d", n, s, fired, refFired)
+			}
 		}
 	}
 }

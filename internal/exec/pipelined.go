@@ -7,23 +7,26 @@ import (
 	"github.com/jstar-lang/jstar/internal/tuple"
 )
 
-// pipeEvent is one ring slot: a live tuple to fire, or the stop sentinel.
-// Slots are recycled in place across ring revolutions (the Disruptor's
-// no-garbage property).
+// pipeEvent is one ring slot: a ring segment (contiguous chunk) of the
+// step's live batch to fire, or the stop sentinel. Slots are recycled in
+// place across ring revolutions (the Disruptor's no-garbage property).
 type pipeEvent struct {
-	t    *tuple.Tuple
+	ts   []*tuple.Tuple
 	host Host
 	stop bool
 }
 
 // pipelined streams each step's live tuples through a single-producer
 // Disruptor ring to a persistent consumer crew — the §6.3 PvWatts redesign
-// lifted into a general executor. Consumer i fires the events whose
-// sequence is congruent to i modulo the crew size (sharded consumption),
+// lifted into a general executor. The producer partitions the live batch
+// into grain-sized ring segments and publishes one event per segment;
+// consumer i fires the segments whose sequence is congruent to i modulo
+// the crew size (sharded consumption) with a single FireBatch call each,
 // and appends puts to its own slot buffer (slot i+1; the coordinator is
-// slot 0). The coordinator publishes a batch, waits for the crew to pass
-// the cursor, then flushes — so steps stay causally ordered while the
-// per-tuple hand-off costs one atomic publish instead of a task fork.
+// slot 0). The coordinator publishes a step's segments, waits for the crew
+// to pass the cursor, then flushes — so steps stay causally ordered while
+// the per-segment hand-off costs one atomic publish amortised over the
+// whole segment.
 type pipelined struct {
 	consumers  int
 	ringSize   int
@@ -81,7 +84,7 @@ func (e *pipelined) start() {
 					return false
 				}
 				if seq%int64(e.consumers) == idx {
-					ev.host.Fire(ev.t, slot)
+					ev.host.FireBatch(ev.ts, slot)
 				}
 				return true
 			})
@@ -101,17 +104,19 @@ func (e *pipelined) Drain(h Host) error {
 			return h.Err()
 		}
 		live := h.BeginStep(batch)
-		if len(live) == 1 {
-			// A lone tuple gains nothing from the ring round-trip; fire it
+		grain := ChunkGrain(len(live), e.consumers)
+		if len(live) <= grain {
+			// A lone segment gains nothing from the ring round-trip; fire it
 			// on the coordinator.
-			h.Fire(live[0], 0)
-		} else {
-			for _, t := range live {
-				t := t
-				e.prod.Publish(func(ev *pipeEvent) {
-					ev.t, ev.host, ev.stop = t, h, false
-				})
+			if len(live) > 0 {
+				h.FireBatch(live, 0)
 			}
+		} else {
+			fireChunks(live, grain, func(chunk []*tuple.Tuple, _ int) {
+				e.prod.Publish(func(ev *pipeEvent) {
+					ev.ts, ev.host, ev.stop = chunk, h, false
+				})
+			})
 			e.ring.WaitConsumed(e.ring.Cursor())
 		}
 		h.EndStep()
@@ -125,6 +130,6 @@ func (e *pipelined) Close() {
 		return
 	}
 	e.closed = true
-	e.prod.Publish(func(ev *pipeEvent) { ev.t, ev.host, ev.stop = nil, nil, true })
+	e.prod.Publish(func(ev *pipeEvent) { ev.ts, ev.host, ev.stop = nil, nil, true })
 	e.wg.Wait()
 }

@@ -92,6 +92,22 @@ func (st *navSeqStore) Scan(fn func(*tuple.Tuple) bool) {
 func (st *navSeqStore) Select(q Query, fn func(*tuple.Tuple) bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
+	st.selectLocked(q, fn)
+}
+
+// SelectBatch takes the tree lock once for the whole probe sequence
+// instead of once per query. Batched callers pass queries derived from a
+// sorted trigger chunk, so consecutive probes descend into nearby
+// subtrees (the sorted-probe locality of an ordered store).
+func (st *navSeqStore) SelectBatch(qs []Query, fn func(qi int, t *tuple.Tuple) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for i := range qs {
+		st.selectLocked(qs[i], func(t *tuple.Tuple) bool { return fn(i, t) })
+	}
+}
+
+func (st *navSeqStore) selectLocked(q Query, fn func(*tuple.Tuple) bool) {
 	if len(q.Prefix) == 0 {
 		st.t.Ascend(func(t *tuple.Tuple) bool {
 			if q.Matches(t) {
@@ -281,6 +297,38 @@ func (st *hashStore) Select(q Query, fn func(*tuple.Tuple) bool) {
 	}
 }
 
+// SelectBatch hashes every fully-specified query prefix in one tight pass
+// before any bucket is probed — the prefetch-friendly loop: by the time
+// the probe loop dereferences shard s for query i, the hash computation
+// for queries i+1… has already walked their prefix values, so the
+// hashing work overlaps the bucket cache misses instead of alternating
+// with them. Under-specified queries fall back to the scanning Select.
+func (st *hashStore) SelectBatch(qs []Query, fn func(qi int, t *tuple.Tuple) bool) {
+	hashes := make([]uint64, len(qs))
+	for i := range qs {
+		if len(qs[i].Prefix) >= st.k {
+			hashes[i] = keyHash(qs[i].Prefix[:st.k])
+		}
+	}
+	for i := range qs {
+		q := qs[i]
+		if len(q.Prefix) < st.k {
+			st.Select(q, func(t *tuple.Tuple) bool { return fn(i, t) })
+			continue
+		}
+		h := hashes[i]
+		sh := &st.shards[h%hashShards]
+		sh.mu.RLock()
+		bucket := sh.m[h]
+		sh.mu.RUnlock()
+		for _, t := range bucket {
+			if q.Matches(t) && !fn(i, t) {
+				break
+			}
+		}
+	}
+}
+
 // --- Array-of-hashsets store -----------------------------------------------
 
 // arrayHashStore is the paper's custom PvWatts Gamma structure (§6.2): a
@@ -379,6 +427,33 @@ func (st *arrayHashStore) Select(q Query, fn func(*tuple.Tuple) bool) {
 		}
 		return true
 	})
+}
+
+// BatchSelector is an optional Store extension: SelectBatch runs a
+// sequence of queries under one synchronisation episode — the read-side
+// half of the engine's batched rule dispatch, where a chunk of firings
+// issues one probe sequence per table instead of a Select (and a lock
+// acquisition) per tuple.
+type BatchSelector interface {
+	SelectBatch(qs []Query, fn func(qi int, t *tuple.Tuple) bool)
+}
+
+// SelectBatch visits, for each query qs[qi] in index order, the tuples
+// matching it, via the store's BatchSelector fast path when available and
+// per-query Select otherwise. fn returning false ends iteration of the
+// current query only; the next query still runs (matching what a loop of
+// independent Selects would do). Callers on the batched firing path pass
+// queries derived from a sorted trigger chunk, so ordered backends probe
+// in ascending key order — the sorted-probe locality the tree stores
+// exploit.
+func SelectBatch(st Store, qs []Query, fn func(qi int, t *tuple.Tuple) bool) {
+	if bs, ok := st.(BatchSelector); ok {
+		bs.SelectBatch(qs, fn)
+		return
+	}
+	for i := range qs {
+		st.Select(qs[i], func(t *tuple.Tuple) bool { return fn(i, t) })
+	}
 }
 
 // BatchStore is an optional Store extension: InsertBatch inserts a

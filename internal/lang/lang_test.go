@@ -1,11 +1,13 @@
 package lang
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"testing"
 
 	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/tuple"
 )
 
@@ -405,5 +407,103 @@ func TestElseIfChain(t *testing.T) {
 	if len(out) != 3 || !strings.Contains(out[0], "small") ||
 		!strings.Contains(out[1], "mid") || !strings.Contains(out[2], "big") {
 		t.Errorf("output = %q", out)
+	}
+}
+
+// TestBatchedSingleLookup drives the compiler's batched-probe rule shape
+// (leading vals, one indexed-lookup loop with a lambda, trailing puts)
+// through a step batch large enough to straddle worker chunks, under both
+// the sequential and parallel engines and with the runtime causality
+// checker on — the emitted BatchBody must agree with per-tuple execution.
+func TestBatchedSingleLookup(t *testing.T) {
+	src := `
+	table Item(int g, int v) orderby (Item)
+	table Group(int g) orderby (Group)
+	table Sum(int g, int total) orderby (Sum)
+	order Item < Group < Sum
+
+	foreach (Group grp) {
+	  val acc = 0
+	  for (it : get Item(grp.g, [v >= 10])) {
+	    acc += it.v
+	  }
+	  put new Sum(grp.g, acc)
+	}`
+	var puts strings.Builder
+	const groups = 60
+	for g := 0; g < groups; g++ {
+		// Two qualifying values (10+g, 20+g) and one filtered out (g%10).
+		fmt.Fprintf(&puts, "put new Item(%d, %d)\nput new Item(%d, %d)\nput new Item(%d, %d)\nput new Group(%d)\n",
+			g, 10+g, g, 20+g, g, g%10, g)
+	}
+	for _, opts := range []core.Options{
+		{Sequential: true, CheckCausality: true},
+		{Threads: 4, CheckCausality: true},
+		{Strategy: exec.Pipelined, Threads: 3},
+	} {
+		p, err := CompileSource(src + puts.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := p.Execute(opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		sumT := findTable(t, r, "Sum")
+		got := make(map[int64]int64)
+		r.Gamma().Table(sumT).Scan(func(tp *tuple.Tuple) bool {
+			got[tp.Int("g")] = tp.Int("total")
+			return true
+		})
+		if len(got) != groups {
+			t.Fatalf("opts %+v: %d Sum tuples, want %d", opts, len(got), groups)
+		}
+		for g := int64(0); g < groups; g++ {
+			if want := 30 + 2*g; got[g] != want {
+				t.Errorf("opts %+v: Sum(%d) = %d, want %d", opts, g, got[g], want)
+			}
+		}
+	}
+}
+
+// TestBatchedLookupErrorPropagates: a runtime error in one firing's loop
+// body must fail the run even when later firings in the same chunk
+// iterate successfully — a regression test for the batched single-lookup
+// body swallowing all but the last query's error.
+func TestBatchedLookupErrorPropagates(t *testing.T) {
+	src := `
+	table Item(int g, int v) orderby (Item)
+	table Group(int g) orderby (Group)
+	table Sum(int g, int total) orderby (Sum)
+	order Item < Group < Sum
+
+	foreach (Group grp) {
+	  val acc = 0
+	  for (it : get Item(grp.g)) {
+	    if (grp.g == 0) {
+	      if (it.v) { acc += 1 }
+	    }
+	    acc += it.v
+	  }
+	  put new Sum(grp.g, acc)
+	}
+	put new Item(0, 1)
+	put new Item(1, 2)
+	put new Item(2, 3)
+	put new Group(0)
+	put new Group(1)
+	put new Group(2)`
+	for _, opts := range []core.Options{
+		{Sequential: true},
+		{Threads: 4},
+	} {
+		p, err := CompileSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Execute(opts); err == nil ||
+			!strings.Contains(err.Error(), "if condition is not boolean") {
+			t.Errorf("opts %+v: err = %v, want the group-0 non-boolean-if error", opts, err)
+		}
 	}
 }

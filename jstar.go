@@ -54,10 +54,19 @@
 // the step boundary (Tree.PutBatch, gamma batch inserts). Batching does
 // not change program semantics — tuples put during step k become visible
 // to extraction exactly at the k/k+1 boundary, as before — it only removes
-// per-put lock traffic from the hot path. The observable differences are
-// beneficial: sequential runs fire batch-mates in deterministic sorted
-// order, and duplicate elimination happens at flush time (counted in
-// RunStats exactly once per discarded put).
+// per-put lock traffic from the hot path.
+//
+// Dispatch is batch-first too: each strategy partitions a step's live
+// batch into contiguous chunks (grain-sized chunks on the fork/join pool,
+// ring segments on the Disruptor) and hands whole chunks to the engine,
+// which amortises rule lookup, statistics accounting and rule-context
+// setup per (schema, rule) group. A Rule may additionally provide a
+// BatchBody — a body invoked once per chunk instead of once per tuple —
+// and batch bodies can route grouped point queries through
+// Ctx.ForEachBatch, which issues one batched Gamma probe sequence
+// (pre-hashed on hash stores, single lock episode on tree stores) for the
+// whole chunk. Within one step, firing order across and inside chunks is
+// unspecified, exactly as the paper specifies for one parallel batch.
 package jstar
 
 import (
