@@ -10,6 +10,7 @@
 package jstar_test
 
 import (
+	"context"
 	"fmt"
 	jstar "github.com/jstar-lang/jstar"
 	"sync/atomic"
@@ -296,6 +297,55 @@ func BenchmarkDispatch_PerFiring(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/dispatchBatch, "ns/firing")
+		})
+	}
+}
+
+// --- Session ingestion ----------------------------------------------------------
+
+// BenchmarkSessionIngest measures the streaming event path end to end:
+// the benchmark goroutine is a non-coordinator producer calling
+// Session.Put — each event passes through the multi-producer ingress
+// ring, is absorbed at a step boundary and fires one rule — while the
+// session's coordinator drains concurrently. The reported events/sec is
+// the ingestion throughput number the CI BENCH_*.json artifact tracks
+// (cmd/jstar-bench -smoke measures the same workload as session-ingest);
+// that Put never waits for quiescence is what keeps it flat as rule work
+// grows.
+func BenchmarkSessionIngest(b *testing.B) {
+	for _, strat := range []jstar.Strategy{
+		jstar.StrategySequential, jstar.StrategyForkJoin, jstar.StrategyPipelined,
+	} {
+		b.Run(strat.String(), func(b *testing.B) {
+			p := jstar.NewProgram()
+			ev := p.Table("Event", jstar.Cols(jstar.IntCol("n")),
+				jstar.OrderBy(jstar.Lit("Event")))
+			out := p.Table("Out", jstar.Cols(jstar.IntCol("n"), jstar.IntCol("v")),
+				jstar.OrderBy(jstar.Lit("Out")))
+			p.Order("Event", "Out")
+			p.Rule("double", ev, func(c *jstar.Ctx, t *jstar.Tuple) {
+				c.PutNew(out, t.Get("n"), jstar.Int(2*t.Int("n")))
+			})
+			sess, err := p.Start(context.Background(), jstar.Options{
+				Strategy: strat, Threads: 4, Quiet: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sess.Put(jstar.New(ev, jstar.Int(int64(i)))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := sess.Quiesce(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			if got := int64(len(sess.Snapshot(out))); got != int64(b.N) {
+				b.Fatalf("Out has %d tuples, want %d", got, b.N)
+			}
 		})
 	}
 }

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/fastcsv"
 	"github.com/jstar-lang/jstar/internal/stats"
+	"github.com/jstar-lang/jstar/internal/tuple"
 )
 
 type config struct {
@@ -451,15 +453,19 @@ func fig13(cfg config) {
 
 // smokeResult is one measured program in the benchmark-smoke JSON artifact.
 type smokeResult struct {
-	Name          string           `json:"name"`
-	Threads       int              `json:"threads"`
-	ElapsedNs     int64            `json:"elapsed_ns"` // min over repeats
-	Steps         int64            `json:"steps"`
-	TotalFired    int64            `json:"total_fired"`
-	FireBatches   int64            `json:"fire_batches"`
-	MeanFireChunk float64          `json:"mean_fire_chunk"`
-	NsPerFiring   float64          `json:"ns_per_firing"`
-	BatchHist     map[string]int64 `json:"batch_hist"`
+	Name          string  `json:"name"`
+	Threads       int     `json:"threads"`
+	ElapsedNs     int64   `json:"elapsed_ns"` // min over repeats
+	Steps         int64   `json:"steps"`
+	TotalFired    int64   `json:"total_fired"`
+	FireBatches   int64   `json:"fire_batches"`
+	MeanFireChunk float64 `json:"mean_fire_chunk"`
+	NsPerFiring   float64 `json:"ns_per_firing"`
+	// EventsPerSec is the Session streaming-ingestion throughput (Put →
+	// ingress ring → absorb → fire), reported by the session-ingest run
+	// only — the perf trajectory of the async event path.
+	EventsPerSec float64          `json:"events_per_sec,omitempty"`
+	BatchHist    map[string]int64 `json:"batch_hist"`
 }
 
 // smokeArtifact is the BENCH_*.json schema CI uploads per run, so the
@@ -490,15 +496,18 @@ func smokeRun(cfg config, jsonPath string) {
 	}
 	threads := runtime.NumCPU()
 	csv := pvwatts.GenerateCSV(1, false, 42)
-	measure := func(name string, run func() *core.Run) {
+	// measure times one workload cfg.repeats times, keeps the fastest
+	// repetition's stats, and records it as one artifact row. events > 0
+	// marks a streaming-ingestion workload: the row additionally reports
+	// events/sec over the fastest repetition.
+	measure := func(name string, events int, run func() (*core.RunStats, time.Duration)) {
 		var best time.Duration = 1<<62 - 1
 		var stats *core.RunStats
 		for i := 0; i < cfg.repeats; i++ {
-			start := time.Now()
-			r := run()
-			if d := time.Since(start); d < best {
+			st, d := run()
+			if d < best {
 				best = d
-				stats = r.Stats()
+				stats = st
 			}
 		}
 		res := smokeResult{
@@ -514,22 +523,58 @@ func smokeRun(cfg config, jsonPath string) {
 		if stats.TotalFired > 0 {
 			res.NsPerFiring = float64(best.Nanoseconds()) / float64(stats.TotalFired)
 		}
+		rate := fmt.Sprintf("ns/firing=%.0f", res.NsPerFiring)
+		if events > 0 {
+			res.EventsPerSec = float64(events) / best.Seconds()
+			rate = fmt.Sprintf("events/sec=%.0f", res.EventsPerSec)
+		}
 		art.Runs = append(art.Runs, res)
-		fmt.Printf("%-10s %12v  fired=%d  chunks=%d  mean-chunk=%.1f  ns/firing=%.0f\n",
+		fmt.Printf("%-14s %12v  fired=%d  chunks=%d  mean-chunk=%.1f  %s\n",
 			name, best.Round(time.Microsecond), res.TotalFired, res.FireBatches,
-			res.MeanFireChunk, res.NsPerFiring)
+			res.MeanFireChunk, rate)
 	}
-	measure("matmult", func() *core.Run {
+	measure("matmult", 0, func() (*core.RunStats, time.Duration) {
+		start := time.Now()
 		r, err := matmult.RunJStar(matmult.RunOpts{N: 96, Strategy: cfg.strategy, Threads: threads, Seed: 42})
 		must(err)
-		return r.Run
+		return r.Run.Stats(), time.Since(start)
 	})
-	measure("pvwatts", func() *core.Run {
+	measure("pvwatts", 0, func() (*core.RunStats, time.Duration) {
 		// Without -noDelta so the readings flow through the Delta set and the
 		// batched dispatch path (with -noDelta they fire inline per §5.1).
+		start := time.Now()
 		r, err := pvwatts.RunJStar(csv, pvwatts.RunOpts{Strategy: cfg.strategy, Threads: threads})
 		must(err)
-		return r.Run
+		return r.Run.Stats(), time.Since(start)
+	})
+	// Session streaming ingestion: the main goroutine is a producer
+	// Putting external events through the ingress ring while the session
+	// coordinator drains concurrently, one quiescence at the end — the
+	// async event path whose throughput the artifact tracks (the
+	// test-suite twin is BenchmarkSessionIngest).
+	const ingestEvents = 100_000
+	measure("session-ingest", ingestEvents, func() (*core.RunStats, time.Duration) {
+		p := core.NewProgram()
+		ev := p.Table("Event", []tuple.Column{{Name: "n", Kind: tuple.KindInt}},
+			[]tuple.OrderEntry{tuple.Lit("Event")})
+		out := p.Table("Out",
+			[]tuple.Column{{Name: "n", Kind: tuple.KindInt}, {Name: "v", Kind: tuple.KindInt}},
+			[]tuple.OrderEntry{tuple.Lit("Out")})
+		p.Order("Event", "Out")
+		p.Rule("double", ev, func(c *core.Ctx, t *tuple.Tuple) {
+			c.PutNew(out, tuple.Int(t.Int("n")), tuple.Int(2*t.Int("n")))
+		})
+		sess, err := p.Start(context.Background(), core.Options{
+			Strategy: cfg.strategy, Threads: threads, Quiet: true})
+		must(err)
+		start := time.Now()
+		for j := int64(0); j < ingestEvents; j++ {
+			must(sess.Put(tuple.New(ev, tuple.Int(j))))
+		}
+		must(sess.Quiesce(context.Background()))
+		d := time.Since(start)
+		must(sess.Close())
+		return sess.Stats(), d
 	})
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(art, "", "  ")

@@ -2,7 +2,9 @@
 // DOT: tables as blue rectangles, rules as red circles (the Fig 7 style).
 // With -run, the program is executed with dataflow tracing and the observed
 // rule->table put counts annotate the edges (the §1.5 "annotated dependency
-// graphs of the program execution").
+// graphs of the program execution"). The traced execution goes through the
+// public jstar surface (Execute is a Session wrapper), so the binary
+// exercises the same lifecycle as every embedding application.
 //
 //	jstar-viz -run program.jstar | dot -Tpng > graph.png
 package main
@@ -12,7 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar"
 	"github.com/jstar-lang/jstar/internal/lang"
 	"github.com/jstar-lang/jstar/internal/stats"
 )
@@ -30,14 +32,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	prog, err := lang.CompileSource(string(src))
+	var prog *jstar.Program
+	prog, err = lang.CompileSource(string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	var run *core.Run
+	var run *jstar.Run
 	if *doRun {
-		run, err = prog.Execute(core.Options{
+		run, err = prog.Execute(jstar.Options{
 			Sequential:    true,
 			TraceDataflow: true,
 			Quiet:         true,

@@ -5,17 +5,21 @@
 // Flags mirror the paper's compiler options: -sequential generates a
 // sequential run, -threads sets the fork/join pool size, -noDelta/-noGamma
 // apply the §5.1 optimisations, and -check discharges the §4 causality
-// proof obligations before running.
+// proof obligations before running. The program runs through the public
+// Session lifecycle (Start → Quiesce → Close); -timeout bounds it with a
+// context deadline, so even a non-terminating program exits cleanly
+// without relying on -maxSteps.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"github.com/jstar-lang/jstar"
 	"github.com/jstar-lang/jstar/internal/causality"
-	"github.com/jstar-lang/jstar/internal/core"
 	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/lang"
 	"github.com/jstar-lang/jstar/internal/stats"
@@ -31,6 +35,7 @@ func main() {
 	check := flag.Bool("check", true, "verify causality obligations before running")
 	runtimeCheck := flag.Bool("runtimeCheck", false, "enable the runtime causality checker")
 	maxSteps := flag.Int64("maxSteps", 10_000_000, "abort after this many steps (0 = no limit)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	showStats := flag.Bool("stats", false, "print per-table usage statistics")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -39,7 +44,7 @@ func main() {
 	}
 	// Validate before doing any work: an unknown -strategy must abort with
 	// the legal names, never fall back to Auto silently.
-	strat, err := exec.ParseStrategy(*strategy)
+	strat, err := jstar.ParseStrategy(*strategy)
 	if err != nil {
 		fatal(err)
 	}
@@ -51,7 +56,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := lang.Compile(f)
+	var prog *jstar.Program
+	prog, err = lang.Compile(f)
 	if err != nil {
 		fatal(err)
 	}
@@ -66,7 +72,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "jstar: warning: unproved causality obligations (running anyway; use -runtimeCheck to trap violations)")
 		}
 	}
-	opts := core.Options{
+	opts := jstar.Options{
 		Sequential:     *sequential,
 		Strategy:       strat,
 		Threads:        *threads,
@@ -79,12 +85,26 @@ func main() {
 	if *noGamma != "" {
 		opts.NoGamma = strings.Split(*noGamma, ",")
 	}
-	run, err := prog.Execute(opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	sess, err := prog.Start(ctx, opts)
 	if err != nil {
 		fatal(err)
 	}
+	qErr := sess.Quiesce(ctx)
+	if err := sess.Close(); qErr == nil {
+		qErr = err
+	}
+	run := sess.Run()
 	for _, line := range run.Output() {
 		fmt.Print(line)
+	}
+	if qErr != nil {
+		fatal(qErr)
 	}
 	if *showStats {
 		fmt.Fprintf(os.Stderr, "strategy: %s\n", run.StrategyName())

@@ -8,10 +8,18 @@
 // maintains a running maximum per symbol and emits an ordered alert line
 // whenever a new high is seen.
 //
+// Ingestion uses the Session lifecycle: Program.Start runs the engine as
+// an online service, the feed goroutine injects Price tuples with
+// Session.Put (which never waits for quiescence — events are published
+// into the ingress ring and absorbed while rules execute), and the main
+// goroutine waits for the fixpoint with Quiesce. The legacy channel-based
+// Run.ExecuteEvents still works and is a wrapper over the same machinery.
+//
 //	go run ./examples/events
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,29 +59,40 @@ func main() {
 		}
 	})
 
-	run, err := p.NewRun(jstar.Options{Threads: 4})
+	ctx := context.Background()
+	sess, err := p.Start(ctx, jstar.Options{Threads: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	events := make(chan *jstar.Tuple)
+	defer sess.Close()
+
+	feed := []struct {
+		t     int64
+		sym   string
+		cents int64
+	}{
+		{1, "ACME", 1000}, {2, "GLOB", 500}, {3, "ACME", 990},
+		{4, "ACME", 1020}, {5, "GLOB", 480}, {6, "GLOB", 510},
+		{7, "ACME", 1019}, {8, "ACME", 1100},
+	}
+	done := make(chan error, 1)
 	go func() {
-		defer close(events)
-		feed := []struct {
-			t     int64
-			sym   string
-			cents int64
-		}{
-			{1, "ACME", 1000}, {2, "GLOB", 500}, {3, "ACME", 990},
-			{4, "ACME", 1020}, {5, "GLOB", 480}, {6, "GLOB", 510},
-			{7, "ACME", 1019}, {8, "ACME", 1100},
-		}
 		for _, e := range feed {
-			events <- jstar.New(price, jstar.Int(e.t), jstar.Str(e.sym), jstar.Int(e.cents))
+			if err := sess.Put(jstar.New(price,
+				jstar.Int(e.t), jstar.Str(e.sym), jstar.Int(e.cents))); err != nil {
+				done <- err
+				return
+			}
 		}
+		done <- nil
 	}()
-	if err := run.ExecuteEvents(events); err != nil {
+	if err := <-done; err != nil {
 		log.Fatal(err)
 	}
+	if err := sess.Quiesce(ctx); err != nil {
+		log.Fatal(err)
+	}
+	run := sess.Run()
 	for _, line := range run.Output() {
 		fmt.Print(line)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -171,10 +172,11 @@ type Run struct {
 	statsByID []*TableStats
 	rulesByID [][]*Rule
 
-	out    outputBuffer
-	stats  RunStats
-	failMu chan struct{} // buffered(1); first rule panic wins
-	fail   atomic.Value  // error
+	out     outputBuffer
+	stats   RunStats
+	failMu  chan struct{} // buffered(1); first rule panic wins
+	fail    atomic.Value  // error
+	started atomic.Bool   // a run executes (or backs a Session) at most once
 }
 
 // NewRun prepares (but does not start) a run.
@@ -276,49 +278,79 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 }
 
 // Execute runs the program to completion (empty Delta set) and returns the
-// first rule panic as an error, or a step-limit error.
+// first rule panic as an error, or a step-limit error. It is a thin
+// compatibility wrapper over the Session lifecycle: start, wait for
+// quiescence, close.
 func (r *Run) Execute() error {
-	start := time.Now()
-	defer r.finish(start)
-	r.seed()
-	return r.executor.Drain(runHost{r})
+	s, err := r.startSession(context.Background())
+	if err != nil {
+		return err
+	}
+	qErr := s.Quiesce(context.Background())
+	cErr := s.Close()
+	if qErr != nil {
+		return qErr
+	}
+	return cErr
 }
 
 // ExecuteEvents is the event-driven execution mode (§3): external input
 // tuples arrive on events and are treated like any other tuple — they enter
-// the Delta set and trigger rules. Whenever the database quiesces, the run
-// blocks for the next event; it completes when the channel is closed and
-// the final quiescence is reached. Initial puts still run first.
+// the Delta set and trigger rules. It keeps the legacy serial contract —
+// the database drains to quiescence between event batches — as a wrapper
+// over Session: each channel receive (plus any already-pending events) is
+// one Put batch followed by a Quiesce. New code should use Program.Start
+// directly; Session.Put does not wait for quiescence, so ingestion
+// overlaps execution.
 func (r *Run) ExecuteEvents(events <-chan *tuple.Tuple) error {
-	start := time.Now()
-	defer r.finish(start)
-	r.seed()
-	for {
-		if err := r.executor.Drain(runHost{r}); err != nil {
-			return err
-		}
-		t, ok := <-events
-		if !ok {
-			return r.loadFail()
-		}
-		r.put("event", nil, t, 0)
-		// Opportunistically absorb already-pending events so one step can
-		// batch simultaneous inputs.
-		for {
-			select {
-			case t, ok := <-events:
-				if !ok {
-					r.endStep()
-					return r.executor.Drain(runHost{r})
-				}
-				r.put("event", nil, t, 0)
-				continue
-			default:
-			}
-			break
-		}
-		r.endStep()
+	s, err := r.startSession(context.Background())
+	if err != nil {
+		return err
 	}
+	bg := context.Background()
+	// Legacy contract: the initial puts drain to full quiescence before
+	// the first external event is absorbed (a Session would overlap them).
+	feedErr := s.Quiesce(bg)
+	if feedErr == nil {
+	feed:
+		for t := range events {
+			if feedErr = s.Put(t); feedErr != nil {
+				break
+			}
+			// Opportunistically absorb already-pending events so one
+			// quiescence covers simultaneous inputs, as the pre-Session
+			// loop did.
+			for {
+				select {
+				case t, ok := <-events:
+					if !ok {
+						break feed
+					}
+					if feedErr = s.Put(t); feedErr != nil {
+						break feed
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if feedErr = s.Quiesce(bg); feedErr != nil {
+				break
+			}
+		}
+	}
+	qErr := s.Quiesce(bg)
+	cErr := s.Close()
+	// A Put rejection (nil tuple, undeclared table) is not a session
+	// failure, so Quiesce/Close would report success; the feed error still
+	// means events were dropped and must surface.
+	if feedErr != nil {
+		return feedErr
+	}
+	if qErr != nil {
+		return qErr
+	}
+	return cErr
 }
 
 // seed performs the program's initial puts on the coordinator slot and
@@ -339,16 +371,6 @@ func (r *Run) finish(start time.Time) {
 		r.ownPool.Shutdown()
 	}
 }
-
-// runHost adapts Run to the exec.Host interface without exporting the
-// engine internals on Run itself.
-type runHost struct{ r *Run }
-
-func (h runHost) NextBatch() ([]*tuple.Tuple, error)        { return h.r.nextBatch() }
-func (h runHost) BeginStep(b []*tuple.Tuple) []*tuple.Tuple { return h.r.beginStep(b) }
-func (h runHost) FireBatch(ts []*tuple.Tuple, slot int)     { h.r.fireBatch(ts, slot) }
-func (h runHost) EndStep()                                  { h.r.endStep() }
-func (h runHost) Err() error                                { return h.r.loadFail() }
 
 func (r *Run) loadFail() error {
 	if e := r.fail.Load(); e != nil {

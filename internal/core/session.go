@@ -1,0 +1,458 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/jstar-lang/jstar/internal/disruptor"
+	"github.com/jstar-lang/jstar/internal/gamma"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// ErrSessionClosed is returned by Session operations after Close, and by
+// Quiesce waiters when the session is closed before reaching quiescence.
+var ErrSessionClosed = errors.New("jstar: session closed")
+
+// ingressEvent is one slot of the Session ingress ring: a single external
+// tuple. Slots are recycled across ring revolutions; absorb clears the
+// reference once the tuple has entered the Delta set so the ring never
+// pins dead tuples.
+type ingressEvent struct {
+	t *tuple.Tuple
+}
+
+// Session is a long-lived, concurrent-safe handle on a running program —
+// the engine as an online incremental service rather than a one-shot batch
+// evaluator. External tuples enter through Put/PutBatch from any number of
+// goroutines: they are published into a multi-producer Disruptor ingress
+// ring and absorbed into the Delta set by the coordinator at step
+// boundaries, so ingestion overlaps rule execution instead of waiting for
+// quiescence. The only thing that ever blocks a producer is ring
+// backpressure (a full ingress ring; capacity Options.IngressRing).
+//
+// The lifecycle is Start → Put/PutBatch ⇄ Quiesce → Close:
+//
+//   - Program.Start seeds the initial puts and begins draining on a
+//     background coordinator goroutine.
+//   - Put/PutBatch inject external tuples; the program's rules fire on
+//     them as their causal equivalence classes become minimal, exactly as
+//     if they had been initial puts (§3's event-driven mode).
+//   - Quiesce blocks until every tuple put before the call has been
+//     absorbed and the database has drained to quiescence.
+//   - Query/Snapshot/Stats read the Gamma state; call them at quiescence
+//     for point-in-time-consistent results.
+//   - Close releases the executor and its goroutines. A drain still in
+//     flight is aborted at the next step boundary; call Quiesce first for
+//     a graceful shutdown.
+//
+// The ctx given to Start bounds the whole session: cancellation or
+// deadline expiry is checked at every step boundary, so even a
+// non-terminating program (the unconditioned Ship rule of §3) is stopped
+// without resorting to Options.MaxSteps. After a failure — rule panic,
+// MaxSteps, ctx cancellation — the session is terminal: Put, Quiesce and
+// Close all report the first error.
+type Session struct {
+	run   *Run
+	ctx   context.Context
+	start time.Time
+
+	// ing is built lazily on the first Put, so the one-shot Execute
+	// wrapper (which never Puts) pays no ring allocation.
+	ing atomic.Pointer[ingress]
+
+	notify   chan struct{} // coalesced "ingress ring has data"
+	closeCh  chan struct{} // closed by Close: stop at the next boundary
+	loopDone chan struct{} // closed when the coordinator loop exits
+
+	closeOnce sync.Once
+
+	mu        sync.Mutex
+	quiescent bool          // loop is parked with Delta and ring drained
+	consumed  int64         // ingress sequence absorbed at last quiescence
+	qGen      chan struct{} // closed and replaced at each quiescence
+	err       error         // first terminal failure
+	closed    bool
+}
+
+// ingress bundles the external-tuple ring with its two endpoints: the
+// shared multi-producer handle Put publishes through, and the coordinator's
+// consumer.
+type ingress struct {
+	ring *disruptor.Ring[ingressEvent]
+	prod *disruptor.MultiProducer[ingressEvent]
+	cons *disruptor.Consumer[ingressEvent]
+}
+
+// Start validates opts, seeds the program's initial puts and begins
+// executing on a background coordinator goroutine, returning the live
+// Session handle. ctx bounds the session: when it is cancelled or its
+// deadline passes, execution stops at the next step boundary and the
+// session becomes terminal with ctx's error.
+func (p *Program) Start(ctx context.Context, opts Options) (*Session, error) {
+	r, err := p.NewRun(opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.startSession(ctx)
+}
+
+// startSession builds the ingress ring and coordinator loop on a prepared
+// run. It is the engine behind Program.Start and the Execute/ExecuteEvents
+// compatibility wrappers.
+func (r *Run) startSession(ctx context.Context) (*Session, error) {
+	if !r.started.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("jstar: run already started")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Session{
+		run:      r,
+		ctx:      ctx,
+		start:    time.Now(),
+		notify:   make(chan struct{}, 1),
+		closeCh:  make(chan struct{}),
+		loopDone: make(chan struct{}),
+		consumed: -1,
+		qGen:     make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// initIngress builds the ingress ring on first use. Creation is fenced by
+// mu against the terminal transitions: once the session has failed or been
+// closed no new ring can appear, so the coordinator's shutdown Release
+// cannot miss one and leave a publisher gated forever.
+func (s *Session) initIngress() (*ingress, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ing := s.ing.Load(); ing != nil {
+		return ing, nil
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	ring := disruptor.NewMultiRing[ingressEvent](s.run.opts.ingressRing(), &disruptor.BlockingWait{})
+	ing := &ingress{ring: ring, cons: ring.NewConsumer()}
+	ing.prod = ring.NewMultiProducer()
+	s.ing.Store(ing)
+	return ing, nil
+}
+
+// loop is the session coordinator: it owns the executor's Drain, absorbs
+// ingress events at step boundaries (sessionHost), and parks at quiescence
+// until new events, cancellation, or Close arrive. Drain is re-entered
+// after every wake-up — the resumable-drain contract of exec.Executor.
+func (s *Session) loop() {
+	defer func() {
+		// Un-gate producers blocked on a full ring; their tuples land in
+		// slots that are never read again, and Put reports the terminal
+		// state to them. The terminal flag (err/closed) is already set
+		// under mu at this point, so initIngress cannot create a ring this
+		// Release would miss.
+		if ing := s.ing.Load(); ing != nil {
+			ing.ring.Release()
+		}
+		close(s.loopDone)
+	}()
+	// Rule-body panics are contained by the engine (invokeGroup), but
+	// seed-time puts and external actions run bare on this goroutine; a
+	// panic here must become a session failure, not a process crash — the
+	// containment Execute callers had when the drain ran on their own
+	// goroutine.
+	defer func() {
+		if p := recover(); p != nil {
+			s.fail(fmt.Errorf("jstar: session coordinator panicked: %v", p))
+		}
+	}()
+	s.run.seed()
+	for {
+		if err := s.run.executor.Drain(sessionHost{s}); err != nil {
+			if !errors.Is(err, ErrSessionClosed) {
+				s.fail(err)
+			}
+			return
+		}
+		s.markQuiescent()
+		select {
+		case <-s.notify:
+		case <-s.ctx.Done():
+			// Cancellation caught the session parked at a fixpoint. With
+			// no unabsorbed input nothing is lost — a clean shutdown, so
+			// a Quiesce that already returned success is not retroactively
+			// turned into a failure. Pending ingress means dropped events:
+			// that is the failure the ctx error reports. The gate closes
+			// before the pending check: a racing PutBatch either published
+			// before our check (we see it and fail loudly) or runs its
+			// post-publish gate after the flag (the producer gets
+			// ErrSessionClosed) — an acknowledged Put is never dropped
+			// silently.
+			s.mu.Lock()
+			s.closed = true
+			s.mu.Unlock()
+			if s.pendingIngress() {
+				s.fail(s.ctx.Err())
+			} else {
+				s.wakeWaiters()
+			}
+			return
+		case <-s.closeCh:
+			return
+		}
+	}
+}
+
+// pendingIngress reports whether published external tuples have not yet
+// been absorbed.
+func (s *Session) pendingIngress() bool {
+	ing := s.ing.Load()
+	return ing != nil && ing.cons.Seq() < ing.prod.Claimed()
+}
+
+// wakeWaiters wakes Quiesce waiters to re-check the session state.
+func (s *Session) wakeWaiters() {
+	s.mu.Lock()
+	close(s.qGen)
+	s.qGen = make(chan struct{})
+	s.mu.Unlock()
+}
+
+// absorb moves every pending ingress-ring event into the engine via the
+// coordinator's put path (slot 0), returning how many were absorbed. Only
+// the coordinator loop calls it.
+func (s *Session) absorb() int {
+	ing := s.ing.Load()
+	if ing == nil {
+		return 0
+	}
+	return ing.cons.Poll(func(_ int64, ev *ingressEvent) bool {
+		t := ev.t
+		ev.t = nil
+		s.run.put("event", nil, t, 0)
+		return true
+	})
+}
+
+// fail records the session's first terminal error and wakes every waiter.
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.quiescent = false
+	close(s.qGen)
+	s.qGen = make(chan struct{})
+	s.mu.Unlock()
+}
+
+// markQuiescent records that the Delta set and ingress ring were both
+// drained, snapshots how far ingestion has been absorbed, and wakes
+// Quiesce waiters.
+func (s *Session) markQuiescent() {
+	s.mu.Lock()
+	s.quiescent = true
+	if ing := s.ing.Load(); ing != nil {
+		s.consumed = ing.cons.Seq()
+	}
+	s.run.stats.Elapsed = time.Since(s.start)
+	close(s.qGen)
+	s.qGen = make(chan struct{})
+	s.mu.Unlock()
+}
+
+// gate reports the session's terminal state, if any.
+func (s *Session) gate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return ErrSessionClosed
+	}
+	return nil
+}
+
+// Put injects one external tuple. It never waits for quiescence — the
+// tuple is published into the ingress ring and the call returns, so
+// ingestion from application goroutines overlaps rule execution. Put
+// blocks only when the ingress ring is full (backpressure) and errors if
+// the tuple's table was not declared on this program or the session is
+// closed or failed.
+func (s *Session) Put(t *tuple.Tuple) error { return s.PutBatch(t) }
+
+// PutBatch injects external tuples, claiming one ring slot per tuple; it
+// shares Put's non-blocking contract. A batch is an ingestion convenience,
+// not a causal unit: tuples still settle per their own causal keys.
+func (s *Session) PutBatch(ts ...*tuple.Tuple) error {
+	if err := s.gate(); err != nil {
+		return err
+	}
+	for _, t := range ts {
+		if t == nil {
+			return fmt.Errorf("jstar: Put of nil tuple")
+		}
+		if s.run.tableStats(t.Schema()) == nil {
+			return fmt.Errorf("jstar: Put of tuple from table %s not declared on this program", t.Schema().Name)
+		}
+	}
+	ing := s.ing.Load()
+	if ing == nil {
+		var err error
+		if ing, err = s.initIngress(); err != nil {
+			return err
+		}
+	}
+	for _, t := range ts {
+		t := t
+		ing.prod.Publish(func(ev *ingressEvent) { ev.t = t })
+		// Wake the coordinator per publish, not once per batch: a batch
+		// larger than the ring's free capacity would otherwise gate this
+		// publisher before the wake-up was ever sent, with the coordinator
+		// parked — a deadlock. The send is non-blocking (a pending token
+		// already guarantees a re-poll).
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
+	// The loop may have shut down while we were gated on a full ring; in
+	// that case the published tuples will never be absorbed — report it.
+	return s.gate()
+}
+
+// Quiesce blocks until the database has drained to quiescence and every
+// tuple put before the call has been absorbed, or until ctx is done. It
+// returns nil at quiescence, ctx's error on cancellation/deadline, and the
+// session's terminal error if it failed or was closed first. Multiple
+// goroutines may Quiesce concurrently.
+func (s *Session) Quiesce(ctx context.Context) error {
+	target := int64(-1)
+	if ing := s.ing.Load(); ing != nil {
+		target = ing.prod.Claimed()
+	}
+	for {
+		s.mu.Lock()
+		if s.err != nil {
+			err := s.err
+			s.mu.Unlock()
+			return err
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return ErrSessionClosed
+		}
+		if s.quiescent && s.consumed >= target {
+			s.mu.Unlock()
+			return nil
+		}
+		ch := s.qGen
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.loopDone:
+			if err := s.gate(); err != nil {
+				return err
+			}
+			return ErrSessionClosed
+		}
+	}
+}
+
+// Query visits the tuples of table sch matching q, like Ctx.ForEach but
+// from outside the rule system — the read surface of the online service.
+// Results are point-in-time consistent when the session is quiesced;
+// during execution the stores are weakly consistent (reads are safe but
+// may interleave with inserts, like the Java concurrent collections).
+func (s *Session) Query(sch *tuple.Schema, q gamma.Query, fn func(*tuple.Tuple) bool) {
+	if st := s.run.tableStats(sch); st != nil {
+		st.Queries.Add(1)
+	}
+	s.run.gammaDB.Table(sch).Select(q, fn)
+}
+
+// Snapshot returns a copy of table sch's current contents in store order.
+// Call it at quiescence for a consistent snapshot.
+func (s *Session) Snapshot(sch *tuple.Schema) []*tuple.Tuple {
+	store := s.run.gammaDB.Table(sch)
+	out := make([]*tuple.Tuple, 0, store.Len())
+	store.Scan(func(t *tuple.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Stats returns the run statistics. Read them only at quiescence (after
+// Quiesce returns nil, or after Close): several RunStats fields (Steps,
+// Elapsed, TotalLive, MaxBatch) are plain values written by the
+// coordinator, so reading them mid-drain is a data race. The atomic
+// per-table counters are safe to read at any time.
+func (s *Session) Stats() *RunStats { return s.run.Stats() }
+
+// Run exposes the underlying run (Gamma, Output, StrategyName, …) for
+// post-quiescence inspection — the same object Execute returns.
+func (s *Session) Run() *Run { return s.run }
+
+// Err returns the session's terminal error, or nil while it is healthy.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close stops the session and releases the executor, its consumer crews
+// and the scheduling pool. A drain in flight is aborted at the next step
+// boundary — Quiesce first for a graceful shutdown. Close is idempotent;
+// it returns the session's terminal error, if any, so one-shot callers
+// can Close and check a single error.
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.closeCh)
+		<-s.loopDone
+		s.run.finish(s.start)
+	})
+	return s.Err()
+}
+
+// sessionHost adapts the session to the exec.Host contract: it is runHost
+// plus ingress absorption and context/close checks at each step boundary.
+// Absorbed tuples enter the coordinator's put buffer (slot 0) and are
+// flushed into the Delta tree before the next extraction, so an external
+// event becomes visible exactly at a step boundary — the same visibility
+// rule as rule puts.
+type sessionHost struct{ s *Session }
+
+func (h sessionHost) NextBatch() ([]*tuple.Tuple, error) {
+	s := h.s
+	select {
+	case <-s.closeCh:
+		return nil, ErrSessionClosed
+	default:
+	}
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.absorb() > 0 {
+		s.run.endStep()
+	}
+	return s.run.nextBatch()
+}
+
+func (h sessionHost) BeginStep(b []*tuple.Tuple) []*tuple.Tuple { return h.s.run.beginStep(b) }
+func (h sessionHost) FireBatch(ts []*tuple.Tuple, slot int)     { h.s.run.fireBatch(ts, slot) }
+func (h sessionHost) EndStep()                                  { h.s.run.endStep() }
+func (h sessionHost) Err() error                                { return h.s.run.loadFail() }

@@ -5,6 +5,13 @@
 // each with their own sequence, pluggable wait strategies (blocking,
 // yielding, busy-spin), and cache-line-padded sequences to avoid false
 // sharing. Object slots are recycled rather than garbage collected.
+//
+// Rings built with NewMultiRing additionally support concurrent publishers
+// (MultiProducer): slots are claimed with a fetch-add on the cursor and
+// out-of-order fills are published through a per-slot availability buffer,
+// the LMAX multi-producer sequencer. The Session ingress ring uses this
+// mode so any number of application goroutines can inject external tuples
+// while the engine drains.
 package disruptor
 
 import (
@@ -28,6 +35,9 @@ func (s *Sequence) Load() int64 { return s.v.Load() }
 
 // Store sets the value.
 func (s *Sequence) Store(x int64) { s.v.Store(x) }
+
+// Add atomically adds d and returns the new value.
+func (s *Sequence) Add(d int64) int64 { return s.v.Add(d) }
 
 // WaitStrategy controls how a goroutine waits for a sequence to advance.
 type WaitStrategy interface {
@@ -117,11 +127,18 @@ func (BusySpinWait) Signal() {}
 // Name implements WaitStrategy.
 func (BusySpinWait) Name() string { return "BusySpinWaitStrategy" }
 
-// Ring is a single-producer multi-consumer ring buffer of T.
+// Ring is a multi-consumer ring buffer of T. A ring built with NewRing has
+// exactly one producer (Producer); a ring built with NewMultiRing supports
+// concurrent publishers through a MultiProducer. In single-producer mode
+// cursor is the highest *published* sequence; in multi-producer mode it is
+// the highest *claimed* sequence, and per-slot availability flags (avail)
+// record which claimed slots have actually been published, exactly the
+// LMAX multi-producer sequencer design.
 type Ring[T any] struct {
 	buf    []T
 	mask   int64
-	cursor Sequence // highest published sequence; -1 initially
+	cursor Sequence // highest published (single) / claimed (multi) sequence; -1 initially
+	avail  []atomic.Int64
 	gating []*Sequence
 	wait   WaitStrategy
 	closed atomic.Bool
@@ -135,6 +152,49 @@ func NewRing[T any](size int, wait WaitStrategy) *Ring[T] {
 	r := &Ring[T]{buf: make([]T, size), mask: int64(size - 1), wait: wait}
 	r.cursor.Store(-1)
 	return r
+}
+
+// NewMultiRing allocates a ring whose slots may be claimed by many
+// concurrent publishers (NewMultiProducer). The availability buffer stores,
+// per slot, the sequence last published into it (-1 when never published),
+// so consumers can tell a claimed-but-unwritten slot from a published one.
+func NewMultiRing[T any](size int, wait WaitStrategy) *Ring[T] {
+	r := NewRing[T](size, wait)
+	r.avail = make([]atomic.Int64, size)
+	for i := range r.avail {
+		r.avail[i].Store(-1)
+	}
+	return r
+}
+
+// highestPublished returns the highest sequence h in [lo, hi] such that
+// every sequence in [lo, h] has been published, or lo-1 when lo itself is
+// still pending. Single-producer rings publish in claim order, so hi is
+// already contiguous; multi-producer rings scan the availability buffer up
+// to the first gap (a slot another publisher has claimed but not yet
+// filled).
+func (r *Ring[T]) highestPublished(lo, hi int64) int64 {
+	if r.avail == nil {
+		return hi
+	}
+	for s := lo; s <= hi; s++ {
+		if r.avail[s&r.mask].Load() != s {
+			return s - 1
+		}
+	}
+	return hi
+}
+
+// Release marks every registered consumer as caught up arbitrarily far in
+// the future and wakes all waiters, permanently un-gating publishers that
+// are blocked on a full ring. The consuming side calls it when it shuts
+// down: slots written after Release are never read, so publishers race
+// only against the garbage collector, never against a dead consumer.
+func (r *Ring[T]) Release() {
+	for _, s := range r.gating {
+		s.Store(1<<62 - 1)
+	}
+	r.wait.Signal()
 }
 
 // Size returns the ring capacity.
@@ -170,6 +230,10 @@ func (r *Ring[T]) NewConsumer() *Consumer[T] {
 	r.gating = append(r.gating, &c.seq)
 	return c
 }
+
+// Seq returns the highest sequence this consumer has processed, -1 before
+// the first event.
+func (c *Consumer[T]) Seq() int64 { return c.seq.Load() }
 
 func (r *Ring[T]) minGating() int64 {
 	min := int64(1<<62 - 1)
@@ -233,6 +297,20 @@ func (c *Consumer[T]) Consume(handle func(seq int64, v *T) bool) bool {
 	r := c.ring
 	next := c.seq.Load() + 1
 	avail := r.wait.WaitFor(next, r.cursor.Load)
+	if r.avail != nil {
+		// Multi-producer ring: the cursor covers claimed slots, so clamp to
+		// the contiguously published prefix. A claimed slot is unpublished
+		// only for the handful of instructions between claim and fill, so a
+		// brief yield loop is enough.
+		for {
+			if h := r.highestPublished(next, avail); h >= next {
+				avail = h
+				break
+			}
+			runtime.Gosched()
+			avail = r.cursor.Load()
+		}
+	}
 	for s := next; s <= avail; s++ {
 		ok := handle(s, &r.buf[s&r.mask])
 		c.seq.Store(s)
@@ -249,6 +327,69 @@ func (c *Consumer[T]) Consume(handle func(seq int64, v *T) bool) bool {
 func (c *Consumer[T]) Run(handle func(seq int64, v *T) bool) {
 	for c.Consume(handle) {
 	}
+}
+
+// Poll processes the events published but not yet seen by this consumer
+// without ever blocking, and returns how many were handled (0 when the ring
+// is empty). It is the non-blocking sibling of Consume, for coordinators
+// that interleave ring draining with other work — the session loop polls
+// the ingress ring at each step boundary.
+func (c *Consumer[T]) Poll(handle func(seq int64, v *T) bool) int {
+	r := c.ring
+	next := c.seq.Load() + 1
+	avail := r.highestPublished(next, r.cursor.Load())
+	n := 0
+	for s := next; s <= avail; s++ {
+		ok := handle(s, &r.buf[s&r.mask])
+		c.seq.Store(s)
+		n++
+		if !ok {
+			break
+		}
+	}
+	if n > 0 {
+		r.wait.Signal() // unblock publishers gated on our sequence
+	}
+	return n
+}
+
+// MultiProducer claims ring slots from many goroutines at once: a fetch-add
+// on the ring cursor hands each publisher a distinct sequence, and the
+// availability buffer publishes out-of-order fills to consumers — the LMAX
+// multi-producer sequencer. Build the ring with NewMultiRing.
+type MultiProducer[T any] struct {
+	ring *Ring[T]
+}
+
+// NewMultiProducer returns a publisher handle that may be shared by any
+// number of goroutines. The ring must have been built with NewMultiRing.
+func (r *Ring[T]) NewMultiProducer() *MultiProducer[T] {
+	if r.avail == nil {
+		panic("disruptor: NewMultiProducer requires a NewMultiRing ring")
+	}
+	return &MultiProducer[T]{ring: r}
+}
+
+// Claimed returns the highest sequence claimed by any publisher so far
+// (-1 before the first publish). Every sequence at or below it has been or
+// is about to be published, so it is the watermark a caller waits on to
+// know "everything put before now" has been consumed.
+func (p *MultiProducer[T]) Claimed() int64 { return p.ring.cursor.Load() }
+
+// Publish claims the next free slot, writes one event via fill, and makes
+// it visible to consumers; it returns the published sequence. Safe for
+// concurrent use. It blocks while the ring is full — the backpressure that
+// stops unbounded producers from outrunning the consuming side.
+func (p *MultiProducer[T]) Publish(fill func(slot *T)) int64 {
+	r := p.ring
+	seq := r.cursor.Add(1)
+	if wrap := seq - int64(len(r.buf)); wrap >= 0 {
+		r.wait.WaitFor(wrap, r.minGating)
+	}
+	fill(&r.buf[seq&r.mask])
+	r.avail[seq&r.mask].Store(seq)
+	r.wait.Signal()
+	return seq
 }
 
 // Options mirror the Table 1 tuning parameters.

@@ -147,9 +147,13 @@ type Pool interface {
 	ForWorker(n, grain int, body func(slot, i int))
 }
 
-// Executor runs a program's step loop to quiescence. Drain may be called
-// repeatedly (the event-driven mode re-drains after each event batch);
-// Close releases executor resources once no more Drains will follow.
+// Executor runs a program's step loop to quiescence. Drain is resumable:
+// it may be called any number of times on the same executor, and the host
+// may grow the Delta set between (and during) calls — the Session
+// coordinator re-enters Drain after every batch of externally injected
+// tuples, and its host absorbs the ingress ring inside NextBatch, so an
+// executor must never assume seed-then-drain-once. Close releases executor
+// resources once no more Drains will follow.
 type Executor interface {
 	// Name identifies the strategy for run reports.
 	Name() string

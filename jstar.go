@@ -33,6 +33,33 @@
 // paper's compiler flags (-sequential, --threads, -noDelta T, -noGamma T,
 // custom stores).
 //
+// # Lifecycle: Sessions
+//
+// The primary lifecycle is the long-lived Session — the engine as an
+// online incremental service (the paper's §3 event-driven mode, made
+// first-class):
+//
+//	sess, err := p.Start(ctx, jstar.Options{})   // seed + background drain
+//	sess.Put(jstar.New(price, ...))              // inject external tuples,
+//	sess.PutBatch(t1, t2, t3)                    // concurrently, from any
+//	                                             // number of goroutines
+//	sess.Quiesce(ctx)                            // wait for the fixpoint
+//	sess.Query(price, jstar.Eq(...), visit)      // read quiesced Gamma state
+//	sess.Close()                                 // release the executor
+//
+// Put and PutBatch never wait for quiescence: external tuples are
+// published into a multi-producer Disruptor ingress ring and absorbed into
+// the Delta set by the coordinator at step boundaries, so ingestion
+// overlaps rule execution. The only backpressure is a full ingress ring
+// (Options.IngressRing). The ctx passed to Start bounds the whole session:
+// cancellation and deadlines are honoured at every step boundary, so even
+// a non-terminating program is stoppable without Options.MaxSteps.
+//
+// Program.Execute and Run.ExecuteEvents remain as one-shot compatibility
+// wrappers over the same Session machinery: Execute is start-quiesce-close,
+// and ExecuteEvents keeps its legacy serial contract of draining to
+// quiescence between event batches.
+//
 // # Execution strategies and batched puts
 //
 // Options.Strategy selects the execution engine behind one Executor
@@ -88,6 +115,10 @@ type (
 	Rule = core.Rule
 	// Run is one execution of a program.
 	Run = core.Run
+	// Session is a long-lived, concurrent-safe handle on a running
+	// program: Start → Put/PutBatch ⇄ Quiesce → Close (see the package
+	// comment's lifecycle section).
+	Session = core.Session
 	// RunStats carries the per-run usage statistics.
 	RunStats = core.RunStats
 
@@ -132,6 +163,9 @@ const (
 // ParseStrategy parses a -strategy flag value
 // (auto|sequential|forkjoin|pipelined).
 func ParseStrategy(s string) (Strategy, error) { return exec.ParseStrategy(s) }
+
+// ErrSessionClosed is returned by Session operations after Close.
+var ErrSessionClosed = core.ErrSessionClosed
 
 // NewProgram returns an empty program.
 func NewProgram() *Program { return core.NewProgram() }

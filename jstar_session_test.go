@@ -1,0 +1,129 @@
+package jstar_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/jstar-lang/jstar"
+)
+
+// tradingMonitor builds the examples/events program: Price events stream
+// in, a rule maintains the running maximum per symbol and emits an ordered
+// alert line for each new high.
+func tradingMonitor() (p *jstar.Program, price, high *jstar.Schema) {
+	p = jstar.NewProgram()
+	price = p.Table("Price",
+		jstar.Cols(jstar.IntCol("t"), jstar.StrCol("sym"), jstar.IntCol("cents")),
+		jstar.OrderBy(jstar.Seq("t"), jstar.Lit("Price")))
+	high = p.Table("High",
+		jstar.Cols(jstar.IntCol("t"), jstar.StrCol("sym"), jstar.IntCol("cents")),
+		jstar.OrderBy(jstar.Seq("t"), jstar.Lit("High")))
+	alert := p.PrintlnTable("Alert",
+		jstar.OrderBy(jstar.Seq("line"), jstar.Lit("Alert")))
+	p.Order("Price", "High", "Alert")
+	p.Rule("watchHighs", price, func(c *jstar.Ctx, e *jstar.Tuple) {
+		t, sym, cents := e.Int("t"), e.Str("sym"), e.Int("cents")
+		best := int64(-1)
+		c.ForEach(high, jstar.Where(func(h *jstar.Tuple) bool {
+			return h.Str("sym") == sym && h.Int("t") < t
+		}), func(h *jstar.Tuple) bool {
+			if h.Int("cents") > best {
+				best = h.Int("cents")
+			}
+			return true
+		})
+		if cents > best {
+			c.PutNew(high, jstar.Int(t), jstar.Str(sym), jstar.Int(cents))
+			c.PutNew(alert, jstar.Str(fmt.Sprintf("t=%02d new high %s %d.%02d",
+				t, sym, cents/100, cents%100)))
+		}
+	})
+	return p, price, high
+}
+
+type priceEvent struct {
+	t     int64
+	sym   string
+	cents int64
+}
+
+var tradingFeed = []priceEvent{
+	{1, "ACME", 1000}, {2, "GLOB", 500}, {3, "ACME", 990},
+	{4, "ACME", 1020}, {5, "GLOB", 480}, {6, "GLOB", 510},
+	{7, "ACME", 1019}, {8, "ACME", 1100},
+}
+
+// dump renders the full final database state (every table, every tuple)
+// plus the sorted output lines, for state-for-state comparison.
+func dump(run *jstar.Run) string {
+	var b strings.Builder
+	for _, s := range run.Program().Tables() {
+		var rows []string
+		run.Gamma().Table(s).Scan(func(tp *jstar.Tuple) bool {
+			rows = append(rows, tp.String())
+			return true
+		})
+		sort.Strings(rows)
+		fmt.Fprintf(&b, "%s: %v\n", s.Name, rows)
+	}
+	lines := append([]string(nil), run.Output()...)
+	sort.Strings(lines)
+	fmt.Fprintf(&b, "output: %v\n", lines)
+	return b.String()
+}
+
+// TestSessionExecuteEventsParity is the acceptance parity check: the
+// examples/events program must reach an identical final database state
+// whether the feed is injected through the legacy blocking ExecuteEvents
+// loop or through Session.Put + Quiesce. Run with -race in CI.
+func TestSessionExecuteEventsParity(t *testing.T) {
+	// Legacy path: channel-fed ExecuteEvents.
+	pLegacy, priceL, _ := tradingMonitor()
+	runLegacy, err := pLegacy.NewRun(jstar.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan *jstar.Tuple)
+	go func() {
+		defer close(events)
+		for _, e := range tradingFeed {
+			events <- jstar.New(priceL, jstar.Int(e.t), jstar.Str(e.sym), jstar.Int(e.cents))
+		}
+	}()
+	if err := runLegacy.ExecuteEvents(events); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session path: async ingestion from a producer goroutine, one
+	// quiescence at the end.
+	pSess, priceS, _ := tradingMonitor()
+	sess, err := pSess.Start(context.Background(), jstar.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	done := make(chan error, 1)
+	go func() {
+		for _, e := range tradingFeed {
+			if err := sess.Put(jstar.New(priceS, jstar.Int(e.t), jstar.Str(e.sym), jstar.Int(e.cents))); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Quiesce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := dump(runLegacy), dump(sess.Run())
+	if want != got {
+		t.Errorf("final database states differ:\n-- ExecuteEvents --\n%s-- Session --\n%s", want, got)
+	}
+}
