@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"github.com/jstar-lang/jstar/internal/disruptor"
 	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/fastcsv"
+	"github.com/jstar-lang/jstar/internal/gamma"
 	"github.com/jstar-lang/jstar/internal/stats"
 	"github.com/jstar-lang/jstar/internal/tuple"
 )
@@ -62,6 +64,10 @@ func main() {
 	maxThreads := flag.Int("max-threads", 2*runtime.NumCPU(), "largest pool size in sweeps")
 	smoke := flag.Bool("smoke", false, "quick CI smoke run; with -json it writes the perf-trajectory artifact")
 	jsonPath := flag.String("json", "", "write smoke results as JSON (strategy, GOMAXPROCS, batch-size histogram) to this file")
+	savePlan := flag.String("save-plan", "",
+		"run the store-plan tuning pass (pvwatts, matmult, shortestpath) and write the suggested per-app plans as JSON")
+	storePlan := flag.String("store-plan", "",
+		"apply a -save-plan JSON file to the tuning pass (the replay half of the two-run tuning loop)")
 	flag.Parse()
 
 	// Validate before running anything: an unknown -strategy must abort
@@ -132,6 +138,10 @@ func main() {
 	if *smoke {
 		ran = true
 		smokeRun(cfg, *jsonPath)
+	}
+	if *savePlan != "" || *storePlan != "" {
+		ran = true
+		tunePass(cfg, *storePlan, *savePlan)
 	}
 	if !ran {
 		flag.Usage()
@@ -466,6 +476,38 @@ type smokeResult struct {
 	// only — the perf trajectory of the async event path.
 	EventsPerSec float64          `json:"events_per_sec,omitempty"`
 	BatchHist    map[string]int64 `json:"batch_hist"`
+	// Tables records, per table, the store kind the run chose, the usage
+	// counters, and the kind the planner would pick next time — so the
+	// perf trajectory captures planner decisions commit over commit.
+	Tables []smokeTableRow `json:"tables"`
+}
+
+// smokeTableRow is one table's planner-relevant row in the artifact.
+type smokeTableRow struct {
+	Table     string `json:"table"`
+	Kind      string `json:"kind"`
+	Puts      int64  `json:"puts"`
+	Dups      int64  `json:"dups"`
+	Queries   int64  `json:"queries"`
+	Suggested string `json:"suggested,omitempty"`
+}
+
+// tableRows renders a run's per-table planner view, sorted by table name.
+func tableRows(st *core.RunStats) []smokeTableRow {
+	plan := st.SuggestStorePlan()
+	rows := make([]smokeTableRow, 0, len(st.Tables))
+	for name, ts := range st.Tables {
+		rows = append(rows, smokeTableRow{
+			Table:     name,
+			Kind:      st.StoreKinds[name],
+			Puts:      ts.Puts.Load(),
+			Dups:      ts.Duplicates.Load(),
+			Queries:   ts.Queries.Load(),
+			Suggested: plan[name],
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Table < rows[j].Table })
+	return rows
 }
 
 // smokeArtifact is the BENCH_*.json schema CI uploads per run, so the
@@ -487,7 +529,7 @@ type smokeArtifact struct {
 func smokeRun(cfg config, jsonPath string) {
 	fmt.Println("== Benchmark smoke (CI artifact) ==")
 	art := smokeArtifact{
-		Schema:     1,
+		Schema:     2,
 		Strategy:   cfg.strategy.String(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -519,6 +561,7 @@ func smokeRun(cfg config, jsonPath string) {
 			FireBatches:   stats.FireBatches.Load(),
 			MeanFireChunk: stats.MeanFireChunk(),
 			BatchHist:     stats.BatchHistogram(),
+			Tables:        tableRows(stats),
 		}
 		if stats.TotalFired > 0 {
 			res.NsPerFiring = float64(best.Nanoseconds()) / float64(stats.TotalFired)
@@ -630,6 +673,90 @@ func strategiesTable(cfg config) {
 			fmt.Printf(" %14v", t.Round(time.Microsecond))
 		}
 		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// --- Store-plan tuning loop ---------------------------------------------------
+
+// tunePlans is the -save-plan JSON schema: one suggested store plan per app.
+type tunePlans map[string]gamma.StorePlan
+
+// tunePass is the profile-guided two-run tuning loop over the real apps:
+//
+//	jstar-bench -save-plan plan.json    # run 1: measure, suggest, save
+//	jstar-bench -store-plan plan.json   # run 2: replay the plan, compare
+//
+// Each app runs cfg.repeats times (minimum taken, counters from the
+// fastest repetition); with -store-plan the saved per-app plan is applied
+// through the app's StorePlan option, and the per-table report shows which
+// backends the plan actually changed.
+func tunePass(cfg config, loadPath, savePath string) {
+	applied := tunePlans{}
+	if loadPath != "" {
+		data, err := os.ReadFile(loadPath)
+		must(err)
+		must(json.Unmarshal(data, &applied))
+		fmt.Printf("== Store-plan tuning pass (replaying %s) ==\n", loadPath)
+	} else {
+		fmt.Println("== Store-plan tuning pass (baseline; save with -save-plan) ==")
+	}
+	threads := runtime.NumCPU()
+	csv := pvwatts.GenerateCSV(cfg.pvYears, false, 42)
+	gen := shortestpath.GenOpts{Vertices: cfg.spVertices, Extra: cfg.spExtra, Tasks: 24, Seed: 42}
+	apps := []struct {
+		name string
+		run  func(plan gamma.StorePlan) *core.RunStats
+	}{
+		{"pvwatts", func(plan gamma.StorePlan) *core.RunStats {
+			res, err := pvwatts.RunJStar(csv, pvwatts.RunOpts{
+				Strategy: cfg.strategy, Threads: threads, StorePlan: plan})
+			must(err)
+			return res.Run.Stats()
+		}},
+		{"matmult", func(plan gamma.StorePlan) *core.RunStats {
+			res, err := matmult.RunJStar(matmult.RunOpts{
+				N: cfg.matN, Strategy: cfg.strategy, Threads: threads, StorePlan: plan, Seed: 42})
+			must(err)
+			return res.Run.Stats()
+		}},
+		{"shortestpath", func(plan gamma.StorePlan) *core.RunStats {
+			res, err := shortestpath.RunJStar(shortestpath.RunOpts{
+				Gen: gen, Strategy: cfg.strategy, Threads: threads, StorePlan: plan})
+			must(err)
+			return res.Run.Stats()
+		}},
+	}
+	suggested := tunePlans{}
+	for _, app := range apps {
+		plan := applied[app.name]
+		var best time.Duration = 1<<62 - 1
+		var st *core.RunStats
+		for i := 0; i < cfg.repeats; i++ {
+			start := time.Now()
+			s := app.run(plan)
+			if d := time.Since(start); d < best {
+				best, st = d, s
+			}
+		}
+		suggested[app.name] = st.SuggestStorePlan()
+		fmt.Printf("%-14s %12v  (min of %d, %d tables planned)\n",
+			app.name, best.Round(time.Microsecond), cfg.repeats, len(plan))
+		fmt.Printf("  %-16s %-16s %10s %10s %8s  %s\n", "table", "kind", "puts", "dups", "queries", "suggested")
+		for _, row := range tableRows(st) {
+			marker := ""
+			if row.Suggested != "" && row.Suggested != row.Kind {
+				marker = " *"
+			}
+			fmt.Printf("  %-16s %-16s %10d %10d %8d  %s%s\n",
+				row.Table, row.Kind, row.Puts, row.Dups, row.Queries, row.Suggested, marker)
+		}
+	}
+	if savePath != "" {
+		data, err := json.MarshalIndent(suggested, "", "  ")
+		must(err)
+		must(os.WriteFile(savePath, append(data, '\n'), 0o644))
+		fmt.Printf("suggested store plans written to %s (replay with -store-plan)\n", savePath)
 	}
 	fmt.Println()
 }

@@ -5,7 +5,10 @@
 // Flags mirror the paper's compiler options: -sequential generates a
 // sequential run, -threads sets the fork/join pool size, -noDelta/-noGamma
 // apply the §5.1 optimisations, and -check discharges the §4 causality
-// proof obligations before running. The program runs through the public
+// proof obligations before running. -save-plan writes the run's suggested
+// per-table store plan (from the observed usage statistics) as JSON, and
+// -store-plan replays a saved plan — the profile-guided tuning loop: run
+// once, save, run again tuned. The program runs through the public
 // Session lifecycle (Start → Quiesce → Close); -timeout bounds it with a
 // context deadline, so even a non-terminating program exits cleanly
 // without relying on -maxSteps.
@@ -13,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +40,10 @@ func main() {
 	runtimeCheck := flag.Bool("runtimeCheck", false, "enable the runtime causality checker")
 	maxSteps := flag.Int64("maxSteps", 10_000_000, "abort after this many steps (0 = no limit)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	storePlan := flag.String("store-plan", "",
+		"JSON store-plan file (table -> kind) to apply; kinds: "+strings.Join(jstar.StoreKinds(), "|"))
+	savePlan := flag.String("save-plan", "",
+		"write the run's suggested store plan as JSON to this file (replay it with -store-plan)")
 	showStats := flag.Bool("stats", false, "print per-table usage statistics")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -85,6 +93,17 @@ func main() {
 	if *noGamma != "" {
 		opts.NoGamma = strings.Split(*noGamma, ",")
 	}
+	if *storePlan != "" {
+		// A bad plan (unknown table or kind) is rejected by Program.Start's
+		// validation with the legal kinds listed, before anything runs.
+		data, err := os.ReadFile(*storePlan)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &opts.StorePlan); err != nil {
+			fatal(fmt.Errorf("jstar: -store-plan %s: %v", *storePlan, err))
+		}
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -109,6 +128,17 @@ func main() {
 	if *showStats {
 		fmt.Fprintf(os.Stderr, "strategy: %s\n", run.StrategyName())
 		fmt.Fprint(os.Stderr, stats.TableReport(run))
+	}
+	if *savePlan != "" {
+		plan := run.Stats().SuggestStorePlan()
+		data, err := json.MarshalIndent(plan, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*savePlan, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "store plan (%d tables) written to %s\n", len(plan), *savePlan)
 	}
 }
 

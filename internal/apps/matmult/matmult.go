@@ -40,7 +40,11 @@ type RunOpts struct {
 	Strategy   exec.Strategy // execution engine (Auto picks from run stats)
 	Threads    int
 	Boxed      bool // route the inner loop through boxed tuples (§6.1)
-	Seed       uint64
+	// StorePlan replays a profile-guided per-table store plan. The Matrix
+	// table's dense3d hint survives a replay: the planner always carries
+	// non-replannable specialised backends through to its suggested plans.
+	StorePlan gamma.StorePlan
+	Seed      uint64
 }
 
 // Result carries the product matrix (flat, row-major) and diagnostics.
@@ -167,6 +171,7 @@ func RunJStar(opts RunOpts) (*Result, error) {
 		Strategy:   opts.Strategy,
 		Threads:    opts.Threads,
 		NoDelta:    []string{"Matrix"},
+		StorePlan:  opts.StorePlan,
 		Quiet:      true,
 	})
 	if err != nil {

@@ -65,8 +65,12 @@ type RunOpts struct {
 	NoDelta    bool // -noDelta PvWatts (§6.2: 23.0s -> 8.44s)
 	NoGamma    bool // -noGamma SumMonth (SumMonth is trigger-only)
 	Gamma      GammaKind
-	Readers    int // parallel CSV region readers (0 = Threads)
-	Trace      bool
+	// StorePlan replays a profile-guided per-table store plan (usually a
+	// previous run's RunStats.SuggestStorePlan), overriding the Gamma
+	// variant's hint for the tables it names.
+	StorePlan gamma.StorePlan
+	Readers   int // parallel CSV region readers (0 = Threads)
+	Trace     bool
 	// ParallelReduce runs each SumMonth reducer loop as a parallel tree
 	// reduction — the §5.2 "additional parallelism" the paper leaves
 	// unexploited ("loops that do involve a reducer object could also be
@@ -265,6 +269,7 @@ func Program(csv []byte, opts RunOpts) (*core.Program, *core.Options, func(*core
 		Sequential:    opts.Sequential,
 		Strategy:      opts.Strategy,
 		Threads:       opts.Threads,
+		StorePlan:     opts.StorePlan,
 		Quiet:         true,
 		TraceDataflow: opts.Trace,
 	}

@@ -74,7 +74,10 @@ type RunOpts struct {
 	Sequential bool
 	Strategy   exec.Strategy // execution engine (Auto picks from run stats)
 	Threads    int
-	Verbose    bool // keep the Fig 5 println output
+	// StorePlan replays a profile-guided per-table store plan, overriding
+	// the hash hints on Edge and Done for the tables it names.
+	StorePlan gamma.StorePlan
+	Verbose   bool // keep the Fig 5 println output
 }
 
 // Result carries the distances (index = vertex, -1 unreachable).
@@ -161,6 +164,7 @@ func RunJStar(opts RunOpts) (*Result, error) {
 		Threads:    opts.Threads,
 		NoDelta:    []string{"Edge", "Done"},
 		NoGamma:    []string{"Estimate"},
+		StorePlan:  opts.StorePlan,
 		Quiet:      !opts.Verbose,
 	})
 	if err != nil {

@@ -59,7 +59,11 @@ func (c *Ctx) checkResult(t *tuple.Tuple) {
 // ForEach visits the tuples of table s matching q — the positive query form
 // `for (x : get T(prefix, [where])) { ... }`.
 func (c *Ctx) ForEach(s *tuple.Schema, q gamma.Query, fn func(t *tuple.Tuple) bool) {
-	c.run.tableStats(s).Queries.Add(1)
+	st := c.run.tableStats(s)
+	st.Queries.Add(1)
+	if n := int64(len(q.Prefix)); n > 0 {
+		st.noteIndexed(1, n, n)
+	}
 	c.run.gammaDB.Table(s).Select(q, func(t *tuple.Tuple) bool {
 		c.checkResult(t)
 		return fn(t)
@@ -85,7 +89,21 @@ func (c *Ctx) ForEachBatch(s *tuple.Schema, qs []gamma.Query, triggers []*tuple.
 	if triggers != nil && len(triggers) != len(qs) {
 		panic(fmt.Sprintf("jstar: ForEachBatch on %s: %d triggers for %d queries", s.Name, len(triggers), len(qs)))
 	}
-	c.run.tableStats(s).Queries.Add(int64(len(qs)))
+	st := c.run.tableStats(s)
+	st.Queries.Add(int64(len(qs)))
+	var indexed, plen, min int64
+	for i := range qs {
+		if n := int64(len(qs[i].Prefix)); n > 0 {
+			indexed++
+			plen += n
+			if min == 0 || n < min {
+				min = n
+			}
+		}
+	}
+	if indexed > 0 {
+		st.noteIndexed(indexed, plen, min)
+	}
 	gamma.SelectBatch(c.run.gammaDB.Table(s), qs, func(qi int, t *tuple.Tuple) bool {
 		if triggers != nil {
 			c.trigger = triggers[qi]

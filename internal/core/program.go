@@ -61,17 +61,23 @@ type Program struct {
 	trigger map[*tuple.Schema][]*Rule
 	initial []*tuple.Tuple
 	hints   map[string]gamma.StoreFactory
-	actions map[*tuple.Schema]func(run *Run, t *tuple.Tuple)
+	// planHints are static store-plan hints — kind specs derived from the
+	// program's query patterns (the lang compiler emits them). They are the
+	// lowest-priority layer of store selection: Options.StorePlan beats
+	// GammaHint beats planHints beats the strategy's default factory.
+	planHints gamma.StorePlan
+	actions   map[*tuple.Schema]func(run *Run, t *tuple.Tuple)
 }
 
 // NewProgram returns an empty program.
 func NewProgram() *Program {
 	return &Program{
-		po:      order.NewPartialOrder(),
-		tables:  make(map[string]*tuple.Schema),
-		trigger: make(map[*tuple.Schema][]*Rule),
-		hints:   make(map[string]gamma.StoreFactory),
-		actions: make(map[*tuple.Schema]func(*Run, *tuple.Tuple)),
+		po:        order.NewPartialOrder(),
+		tables:    make(map[string]*tuple.Schema),
+		trigger:   make(map[*tuple.Schema][]*Rule),
+		hints:     make(map[string]gamma.StoreFactory),
+		planHints: make(gamma.StorePlan),
+		actions:   make(map[*tuple.Schema]func(*Run, *tuple.Tuple)),
 	}
 }
 
@@ -160,6 +166,16 @@ func (p *Program) GammaHint(table string, f gamma.StoreFactory) {
 	p.hints[table] = f
 }
 
+// PlanHint records a static store-plan hint (a gamma kind spec such as
+// "inthash:1" or "columnar") for one table. Hints are advisory defaults:
+// an explicit GammaHint or an Options.StorePlan entry for the same table
+// wins. The lang compiler emits them from the program's query patterns;
+// Validate rejects specs that name unknown kinds or unsuitable tables.
+func (p *Program) PlanHint(table, spec string) { p.planHints[table] = spec }
+
+// PlanHints returns a copy of the static store-plan hints.
+func (p *Program) PlanHints() gamma.StorePlan { return p.planHints.Clone() }
+
 // Options configure one run — the JStar compiler/runtime flags.
 type Options struct {
 	// Strategy selects the execution engine: Sequential, ForkJoin (fork/
@@ -180,6 +196,15 @@ type Options struct {
 	// NoGamma lists trigger-only tables never inserted into Gamma
 	// (-noGamma T, §5.1).
 	NoGamma []string
+	// StorePlan maps table names to named store kinds ("hash:2",
+	// "columnar", ... — see gamma.FactoryFor for the spec syntax and
+	// gamma.StoreKinds for the legal names). Plan entries override
+	// Program.GammaHint and the compiler's static plan hints for their
+	// tables; tables absent from the plan are unaffected. Plans typically
+	// come from a previous run's RunStats.SuggestStorePlan (the
+	// -save-plan/-store-plan tuning loop) and are validated by
+	// Program.Validate before any run is built.
+	StorePlan gamma.StorePlan
 	// CheckCausality enables runtime verification that every put respects
 	// the law of causality and that every query result is not from the
 	// future. This is the dynamic counterpart of the SMT checks (§4);
@@ -272,7 +297,9 @@ func (p *Program) knownTables() string {
 }
 
 // Validate reports configuration errors: unknown table names in NoDelta/
-// NoGamma/hints, a negative thread count, a malformed ingress ring size,
+// NoGamma/hints, unknown or unsuitable store kinds in StorePlan and the
+// compiler's plan hints (listing the legal kinds), a negative thread
+// count, a malformed ingress ring size,
 // and contradictory strategy flags. Every error says what was wrong and
 // what the legal values are, so misconfiguration never silently degrades
 // or panics mid-run.
@@ -304,6 +331,20 @@ func (p *Program) Validate(opts Options) error {
 			errs = append(errs, fmt.Sprintf("gamma hint for %s: unknown table (declared: %s)", t, p.knownTables()))
 		}
 	}
+	checkPlan := func(label string, plan gamma.StorePlan) {
+		for t, spec := range plan {
+			s, ok := p.tables[t]
+			if !ok {
+				errs = append(errs, fmt.Sprintf("%s for %s: unknown table (declared: %s)", label, t, p.knownTables()))
+				continue
+			}
+			if _, err := gamma.FactoryFor(spec, s); err != nil {
+				errs = append(errs, fmt.Sprintf("%s for %s: %v", label, t, err))
+			}
+		}
+	}
+	checkPlan("store plan", opts.StorePlan)
+	checkPlan("store plan hint", p.planHints)
 	if len(errs) > 0 {
 		sort.Strings(errs)
 		return fmt.Errorf("jstar: %s", strings.Join(errs, "; "))

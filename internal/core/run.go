@@ -26,6 +26,34 @@ type TableStats struct {
 	Duplicates atomic.Int64 // puts discarded as duplicates
 	Triggers   atomic.Int64 // rule firings triggered by this table
 	Queries    atomic.Int64 // Gamma queries against this table
+	// IndexedQueries counts the queries with a non-empty equality prefix,
+	// PrefixLenSum totals those prefixes' lengths, and MinPrefixLen holds
+	// the shortest one observed (0 before any). Together with Queries they
+	// tell the store planner whether a table is point-probed (and at what
+	// prefix depth) or only scanned — the query-shape half of the §1.5
+	// statistics that PlanFromStats turns into a StorePlan. The planner
+	// keys hash backends at MinPrefixLen, never deeper: a key depth any
+	// observed query under-specifies would degrade that query to a scan.
+	IndexedQueries atomic.Int64
+	PrefixLenSum   atomic.Int64
+	MinPrefixLen   atomic.Int64
+}
+
+// noteIndexed folds a batch of indexed-query observations (count, total
+// prefix length, smallest prefix length) into the counters with one update
+// each plus a CAS-min.
+func (t *TableStats) noteIndexed(indexed, plen, min int64) {
+	t.IndexedQueries.Add(indexed)
+	t.PrefixLenSum.Add(plen)
+	for {
+		cur := t.MinPrefixLen.Load()
+		if cur != 0 && cur <= min {
+			return
+		}
+		if t.MinPrefixLen.CompareAndSwap(cur, min) {
+			return
+		}
+	}
 }
 
 // batchBuckets is the number of power-of-two buckets in the fire-chunk
@@ -42,6 +70,17 @@ type RunStats struct {
 	Elapsed    time.Duration
 	Tables     map[string]*TableStats
 	RuleNanos  map[string]*atomic.Int64 // cumulative body time per rule
+
+	// StoreKinds records the store backend chosen for each table when the
+	// run was built — a replayable gamma kind spec ("skip", "hash:2",
+	// "dense3d:3,96,96", "custom" for opaque factories). It is the "kind
+	// chosen" column of the BENCH artifact's per-table rows and the
+	// planner's view of which choices it may override.
+	StoreKinds map[string]string
+	// schemas and noGamma carry the planner's non-counter inputs (column
+	// kinds for backend suitability; tables whose stores are never used).
+	schemas map[string]*tuple.Schema
+	noGamma map[string]bool
 
 	// FireBatches counts batched dispatch calls (FireBatch chunks); with
 	// TotalLive it gives the mean chunk size the executor achieved —
@@ -208,8 +247,22 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 	} else {
 		r.gammaDB = gamma.NewDB(gamma.NewSkipStore)
 	}
+	// Store selection is layered, lowest priority first: the compiler's
+	// static plan hints, then programmatic GammaHint factories, then the
+	// per-run Options.StorePlan (the profile-guided replay). Specs were
+	// already vetted by Validate, so FactoryFor cannot fail here.
+	for t, spec := range p.planHints {
+		if f, err := gamma.FactoryFor(spec, p.tables[t]); err == nil {
+			r.gammaDB.SetStore(t, f)
+		}
+	}
 	for t, f := range p.hints {
 		r.gammaDB.SetStore(t, f)
+	}
+	for t, spec := range opts.StorePlan {
+		if f, err := gamma.FactoryFor(spec, p.tables[t]); err == nil {
+			r.gammaDB.SetStore(t, f)
+		}
 	}
 	// Freeze the per-run dense store table: Table lookups during execution
 	// are a bounds check and pointer compare, no lock.
@@ -228,6 +281,9 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 		r.noGamma[p.tables[t].ID()] = true
 	}
 	r.stats.Tables = make(map[string]*TableStats, n)
+	r.stats.StoreKinds = make(map[string]string, n)
+	r.stats.schemas = make(map[string]*tuple.Schema, n)
+	r.stats.noGamma = make(map[string]bool, len(opts.NoGamma))
 	for _, s := range p.byID {
 		st := &TableStats{}
 		r.stats.Tables[s.Name] = st
@@ -235,6 +291,11 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 		r.rulesByID[s.ID()] = p.trigger[s]
 		if _, ok := p.actions[s]; ok {
 			r.hasAction[s.ID()] = true
+		}
+		r.stats.StoreKinds[s.Name] = gamma.KindOf(r.gammaDB.Table(s))
+		r.stats.schemas[s.Name] = s
+		if r.noGamma[s.ID()] {
+			r.stats.noGamma[s.Name] = true
 		}
 	}
 	r.stats.RuleNanos = make(map[string]*atomic.Int64, len(p.rules))

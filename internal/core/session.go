@@ -377,6 +377,9 @@ func (s *Session) Quiesce(ctx context.Context) error {
 func (s *Session) Query(sch *tuple.Schema, q gamma.Query, fn func(*tuple.Tuple) bool) {
 	if st := s.run.tableStats(sch); st != nil {
 		st.Queries.Add(1)
+		if n := int64(len(q.Prefix)); n > 0 {
+			st.noteIndexed(1, n, n)
+		}
 	}
 	s.run.gammaDB.Table(sch).Select(q, fn)
 }

@@ -22,8 +22,9 @@ func batchTestSchema() *tuple.Schema {
 }
 
 // batchFactories is every store backend the batched read path must agree
-// with its per-query path on — both the BatchSelector implementations
-// (tree, hash) and fallback-only stores (skip list, array-of-hashsets).
+// with its per-query path on — the BatchSelector implementations (tree,
+// hash, columnar, inthash) and fallback-only stores (skip list,
+// array-of-hashsets): seven implementations in all.
 func batchFactories() map[string]StoreFactory {
 	return map[string]StoreFactory{
 		"tree":       NewTreeStore,
@@ -31,6 +32,8 @@ func batchFactories() map[string]StoreFactory {
 		"hash-k1":    NewHashStore(1),
 		"hash-k2":    NewHashStore(2),
 		"array-hash": NewArrayOfHashSets(0, 0, 7),
+		"columnar":   NewColumnarStore,
+		"inthash":    NewIntHashStore(1),
 	}
 }
 

@@ -52,6 +52,10 @@ func NewDense3D(na, nb, nc int) StoreFactory {
 	}
 }
 
+func (d *Dense3D) StoreKind() string {
+	return fmt.Sprintf("dense3d:%d,%d,%d", d.na, d.nb, d.nc)
+}
+
 func (d *Dense3D) idx(a, b, c int64) int {
 	if a < 0 || a >= int64(d.na) || b < 0 || b >= int64(d.nb) || c < 0 || c >= int64(d.nc) {
 		panic(fmt.Sprintf("jstar: Dense3D index (%d,%d,%d) out of range (%d,%d,%d)",
@@ -199,6 +203,8 @@ func NewRollingFloatArray(n int) StoreFactory {
 		return r
 	}
 }
+
+func (r *RollingFloatArray) StoreKind() string { return fmt.Sprintf("rolling:%d", r.n) }
 
 // SetF writes value at (iter, index); the typed fast path.
 func (r *RollingFloatArray) SetF(iter, index int64, value float64) {

@@ -1,14 +1,27 @@
 // Package gamma implements the Gamma database — the main store that
 // (conceptually) holds every tuple a JStar program has generated (paper §3,
-// Fig 3). Gamma contains a separate data structure per table.
+// Fig 3). Gamma contains a separate data structure per table, and store
+// choice is layered:
 //
-// The default store is a NavigableSet ordered by all fields (TreeSet when
-// generating sequential code, ConcurrentSkipListSet for parallel code), so
-// queries over any ordered subset of the tuples traverse only that subset.
-// Programs can override the choice per table — the paper does this manually
-// by overriding a factory method; here it is a per-table StoreFactory —
-// with a hash index, an array-of-hashsets, a dense native array, or a
-// rolling two-iteration array (the §6.6 garbage-collection optimisation).
+//   - Store is the per-table storage contract (Insert/Len/Select/Scan, with
+//     the optional BatchSelector/BatchStore fast paths for the engine's
+//     batched dispatch). Seven implementations ship: the NavigableSet
+//     defaults (tree for sequential code, skip list for parallel code,
+//     ordered by all fields so queries over any ordered subset traverse
+//     only that subset), a sharded hash index, the array-of-hashsets of
+//     §6.2, the dense native arrays of §6.4, the rolling two-iteration
+//     array of §6.6, plus a compressed append-only columnar store and an
+//     int-specialised open-addressing store.
+//   - StoreFactory builds a Store for a schema — the paper's stage-4
+//     data-structure hint, overridden per table through DB.SetStore (the
+//     factory-method seam the paper describes overriding manually).
+//   - StorePlan names those choices: a serialisable table -> kind-spec map
+//     ("hash:2", "columnar", ...) validated by FactoryFor against the
+//     schema before any run starts. Plans are what the profile-guided
+//     planner emits (core.PlanFromStats), what the compiler derives
+//     statically from query patterns, and what the -store-plan/-save-plan
+//     flags replay between runs — the §1.5 loop of run statistics driving
+//     data-structure selection, made a first-class artifact.
 package gamma
 
 import (
@@ -70,6 +83,8 @@ type navSeqStore struct {
 func NewTreeStore(s *tuple.Schema) Store {
 	return &navSeqStore{t: llrb.New(func(a, b *tuple.Tuple) int { return a.CompareFields(b) })}
 }
+
+func (st *navSeqStore) StoreKind() string { return "tree" }
 
 func (st *navSeqStore) Insert(t *tuple.Tuple) bool {
 	st.mu.Lock()
@@ -138,6 +153,8 @@ type navConcStore struct {
 func NewSkipStore(s *tuple.Schema) Store {
 	return &navConcStore{l: skiplist.New(func(a, b *tuple.Tuple) int { return a.CompareFields(b) })}
 }
+
+func (st *navConcStore) StoreKind() string { return "skip" }
 
 func (st *navConcStore) Insert(t *tuple.Tuple) bool { return st.l.Insert(t) }
 func (st *navConcStore) Len() int                   { return st.l.Len() }
@@ -211,6 +228,8 @@ func NewHashStore(k int) StoreFactory {
 		return &hashStore{k: k}
 	}
 }
+
+func (st *hashStore) StoreKind() string { return fmt.Sprintf("hash:%d", st.k) }
 
 func keyHash(vals []tuple.Value) uint64 {
 	h := tuple.HashSeed
@@ -349,6 +368,10 @@ func NewArrayOfHashSets(col int, lo, hi int64) StoreFactory {
 		}
 		return &arrayHashStore{col: col, lo: lo, hi: hi, slots: make([]hashShard, hi-lo+1)}
 	}
+}
+
+func (st *arrayHashStore) StoreKind() string {
+	return fmt.Sprintf("arrayhash:%d,%d,%d", st.col, st.lo, st.hi)
 }
 
 func (st *arrayHashStore) slot(v int64) *hashShard {

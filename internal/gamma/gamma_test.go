@@ -32,6 +32,9 @@ func allStores(t *testing.T, fn func(t *testing.T, st Store)) {
 		"skip":     NewSkipStore,
 		"hash2":    NewHashStore(2),
 		"arrayhsh": NewArrayOfHashSets(1, 1, 12), // month column, range 1..12
+		"columnar": NewColumnarStore,
+		"inthash1": NewIntHashStore(1),
+		"inthash2": NewIntHashStore(2),
 	}
 	for name, f := range factories {
 		t.Run(name, func(t *testing.T) { fn(t, f(s)) })

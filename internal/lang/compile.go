@@ -40,6 +40,8 @@ func Compile(f *File) (*core.Program, error) {
 			}
 		}
 	}
+	// Pass 3: static store-plan hints from the file's query patterns.
+	c.emitPlanHints(f)
 	return c.prog, nil
 }
 
@@ -436,6 +438,120 @@ func (c *compiler) batchBody(d *RuleDecl) func(ctx *core.Ctx, ts []*tuple.Tuple)
 			if err := c.execBlock(ctx, envs[i], tail); err != nil {
 				panic(err)
 			}
+		}
+	}
+}
+
+// tableUsage accumulates the statically visible access pattern of one
+// table across every rule body and top-level put of a file.
+type tableUsage struct {
+	putInto   bool
+	queried   bool
+	scanned   bool // some get had an empty equality prefix
+	minPrefix int  // shortest non-empty get prefix
+}
+
+// emitPlanHints is the compiler's static half of store planning: where
+// PlanFromStats reads a finished run's counters, this pass reads the query
+// shapes visible in the source and records conservative plan hints on the
+// program (Program.PlanHint — the lowest-priority selection layer, so
+// GammaHint and Options.StorePlan still win). Only two clear-cut shapes
+// are hinted: tables whose every get carries an equality prefix become
+// hash-indexed at the shortest prefix depth (int-specialised when all
+// columns are ints — every such get then hits the keyed probe path), and
+// tables that are put into but never queried become columnar (their store
+// only ever absorbs appends and dedup).
+func (c *compiler) emitPlanHints(f *File) {
+	usage := map[string]*tableUsage{}
+	use := func(name string) *tableUsage {
+		u := usage[name]
+		if u == nil {
+			u = &tableUsage{}
+			usage[name] = u
+		}
+		return u
+	}
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case *GetExpr:
+			u := use(e.Table)
+			u.queried = true
+			if n := len(e.Args); n == 0 {
+				u.scanned = true
+			} else if !u.scanned && (u.minPrefix == 0 || n < u.minPrefix) {
+				u.minPrefix = n
+			}
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+			if e.Lambda != nil {
+				walkExpr(e.Lambda)
+			}
+		case *NewExpr:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *Binary:
+			walkExpr(e.L)
+			walkExpr(e.R)
+		case *Unary:
+			walkExpr(e.X)
+		case *FieldAccess:
+			walkExpr(e.X)
+		case *CallExpr:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walkStmts func(ss []Stmt)
+	walkStmts = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *IfStmt:
+				walkExpr(s.Cond)
+				walkStmts(s.Then)
+				walkStmts(s.Else)
+			case *ValStmt:
+				walkExpr(s.Expr)
+			case *PutStmt:
+				if n, ok := s.Expr.(*NewExpr); ok {
+					use(n.Table).putInto = true
+				}
+				walkExpr(s.Expr)
+			case *PrintlnStmt:
+				walkExpr(s.Expr)
+			case *ForStmt:
+				walkExpr(s.Query)
+				walkStmts(s.Body)
+			case *AccumStmt:
+				walkExpr(s.Expr)
+			}
+		}
+	}
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *PutDecl:
+			use(d.Expr.Table).putInto = true
+		case *RuleDecl:
+			walkStmts(d.Body)
+		}
+	}
+	for name, u := range usage {
+		s, ok := c.tables[name]
+		if !ok {
+			continue
+		}
+		switch {
+		case u.queried && !u.scanned && u.minPrefix >= 1:
+			if gamma.AllIntColumns(s) {
+				c.prog.PlanHint(name, fmt.Sprintf("inthash:%d", u.minPrefix))
+			} else {
+				c.prog.PlanHint(name, fmt.Sprintf("hash:%d", u.minPrefix))
+			}
+		case !u.queried && u.putInto:
+			c.prog.PlanHint(name, "columnar")
 		}
 	}
 }

@@ -153,20 +153,25 @@ func ProgramDOT(p *core.Program, run *core.Run) string {
 }
 
 // TableReport renders per-table usage counters from a run, sorted by name —
-// the §1.5 "usage statistics about each table during a program run".
+// the §1.5 "usage statistics about each table during a program run" — plus
+// the store backend each table ran on and the kind the planner would pick
+// for a re-run (blank when it has no opinion or agrees implicitly).
 func TableReport(run *core.Run) string {
 	st := run.Stats()
+	plan := st.SuggestStorePlan()
 	names := make([]string, 0, len(st.Tables))
 	for n := range st.Tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %12s %12s %12s %12s\n", "table", "puts", "dups", "triggers", "queries")
+	fmt.Fprintf(&b, "%-16s %-16s %12s %12s %12s %12s  %s\n",
+		"table", "store", "puts", "dups", "triggers", "queries", "suggested")
 	for _, n := range names {
 		t := st.Tables[n]
-		fmt.Fprintf(&b, "%-16s %12d %12d %12d %12d\n",
-			n, t.Puts.Load(), t.Duplicates.Load(), t.Triggers.Load(), t.Queries.Load())
+		fmt.Fprintf(&b, "%-16s %-16s %12d %12d %12d %12d  %s\n",
+			n, st.StoreKinds[n], t.Puts.Load(), t.Duplicates.Load(),
+			t.Triggers.Load(), t.Queries.Load(), plan[n])
 	}
 	fmt.Fprintf(&b, "steps=%d maxBatch=%d fired=%d elapsed=%v\n",
 		st.Steps, st.MaxBatch, st.TotalFired, st.Elapsed.Round(time.Microsecond))

@@ -31,7 +31,14 @@
 // program changes: Options.Strategy, Options.Sequential, Options.Threads,
 // Options.NoDelta, Options.NoGamma, and Program.GammaHint correspond to the
 // paper's compiler flags (-sequential, --threads, -noDelta T, -noGamma T,
-// custom stores).
+// custom stores). Options.StorePlan closes the loop: a finished run's
+// RunStats.SuggestStorePlan derives a per-table plan of named store kinds
+// from the observed query/put/dup statistics (hash indexes for
+// point-probed tables, the int-specialised open-addressing store for
+// all-int tables, the columnar store for append-mostly scan workloads),
+// and replaying that plan on the next run — Options.StorePlan, or the
+// -save-plan/-store-plan flags of cmd/jstar and cmd/jstar-bench — swaps
+// the backends without touching the program.
 //
 // # Lifecycle: Sessions
 //
@@ -141,6 +148,12 @@ type (
 	Store = gamma.Store
 	// StoreFactory builds a Store for a schema (a data-structure hint).
 	StoreFactory = gamma.StoreFactory
+	// StorePlan maps table names to named store kinds ("hash:2",
+	// "columnar", ...) — the serialisable, validated form of per-table
+	// store selection (Options.StorePlan). Plans usually come from a
+	// previous run: RunStats.SuggestStorePlan derives one from observed
+	// per-table statistics, closing the profile-guided tuning loop.
+	StorePlan = gamma.StorePlan
 
 	// Strategy selects the execution engine for a run (Options.Strategy).
 	Strategy = exec.Strategy
@@ -247,6 +260,23 @@ var (
 
 // HashStore hashes on the first k columns (point queries in O(1)).
 func HashStore(k int) StoreFactory { return gamma.NewHashStore(k) }
+
+// IntHashStore is the int-specialised open-addressing store keyed on the
+// first k columns: flat int64 rows, O(1) full-row dedup, O(chain) prefix
+// probes. All columns must be ints.
+func IntHashStore(k int) StoreFactory { return gamma.NewIntHashStore(k) }
+
+// ColumnarStore is the compressed append-only columnar store: one typed
+// slice per column, dictionary-encoded strings, tuples materialised only
+// for rows surviving the column-level prefix filter. Best for append-
+// mostly tables read by scans.
+var ColumnarStore StoreFactory = gamma.NewColumnarStore
+
+// StoreKinds lists the legal named store kinds accepted by
+// Options.StorePlan ("tree", "skip", "hash", "inthash", "columnar",
+// "arrayhash", "dense3d", "rolling"; see gamma.FactoryFor for parameter
+// syntax).
+func StoreKinds() []string { return gamma.StoreKinds() }
 
 // ArrayOfHashSets indexes one small-range int column with a hash set per
 // slot — the custom PvWatts structure of §6.2.
