@@ -301,6 +301,60 @@ func BenchmarkDispatch_PerFiring(b *testing.B) {
 	}
 }
 
+// --- Step boundary ---------------------------------------------------------------
+
+// BenchmarkStepBoundary isolates the step boundary itself: a fan-out step
+// whose rule firings spread across the worker slots and each put one tuple,
+// so the measured run is dominated by the boundary pipeline — BeginStep's
+// sort + Gamma insert, the per-slot seal sorts, the k-way merge and the
+// Delta bulk load — rather than rule work. The sweep crosses slot counts
+// (threads) with batch sizes; boundary% reports the serial-boundary
+// fraction (RunStats.SerialBoundaryFraction) the CI smoke gate watches.
+func BenchmarkStepBoundary(b *testing.B) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		for _, batch := range []int{1 << 10, 1 << 13} {
+			strat := jstar.StrategyForkJoin
+			if threads == 1 {
+				strat = jstar.StrategySequential
+			}
+			b.Run(fmt.Sprintf("threads=%d/batch=%d", threads, batch), func(b *testing.B) {
+				var fracSum float64
+				for i := 0; i < b.N; i++ {
+					p := jstar.NewProgram()
+					src := p.Table("Src", jstar.Cols(jstar.IntCol("n")),
+						jstar.OrderBy(jstar.Lit("Src")))
+					work := p.Table("Work", jstar.Cols(jstar.IntCol("i")),
+						jstar.OrderBy(jstar.Lit("Work")))
+					out := p.Table("Out", jstar.Cols(jstar.IntCol("i")),
+						jstar.OrderBy(jstar.Lit("Out")))
+					p.Order("Src", "Work", "Out")
+					p.Rule("fanout", src, func(c *jstar.Ctx, t *jstar.Tuple) {
+						for j := int64(0); j < t.Int("n"); j++ {
+							c.PutNew(work, jstar.Int(j))
+						}
+					})
+					p.Rule("emit", work, func(c *jstar.Ctx, t *jstar.Tuple) {
+						c.PutNew(out, t.Get("i"))
+					})
+					p.Put(jstar.New(src, jstar.Int(int64(batch))))
+					run, err := p.Execute(jstar.Options{
+						Strategy: strat, Threads: threads, Quiet: true, PhaseStats: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					st := run.Stats()
+					if st.TotalLive != int64(2*batch+1) {
+						b.Fatalf("TotalLive = %d, want %d", st.TotalLive, 2*batch+1)
+					}
+					fracSum += st.SerialBoundaryFraction()
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(2*batch), "ns/tuple")
+				b.ReportMetric(100*fracSum/float64(b.N), "boundary%")
+			})
+		}
+	}
+}
+
 // --- Session ingestion ----------------------------------------------------------
 
 // BenchmarkSessionIngest measures the streaming event path end to end:

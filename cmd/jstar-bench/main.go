@@ -68,6 +68,10 @@ func main() {
 		"run the store-plan tuning pass (pvwatts, matmult, shortestpath) and write the suggested per-app plans as JSON")
 	storePlan := flag.String("store-plan", "",
 		"apply a -save-plan JSON file to the tuning pass (the replay half of the two-run tuning loop)")
+	phases := flag.Bool("phases", false,
+		"print the per-phase step breakdown (fire/insert/merge/delta + serial-boundary fraction) for the three apps")
+	maxBoundaryFrac := flag.Float64("max-boundary-frac", 0,
+		"with -smoke: exit 1 if any app run's serial-boundary fraction exceeds this (0 disables; CI's regression gate)")
 	flag.Parse()
 
 	// Validate before running anything: an unknown -strategy must abort
@@ -75,6 +79,10 @@ func main() {
 	strat, err := exec.ParseStrategy(*strategyFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *repeats < 1 {
+		fmt.Fprintf(os.Stderr, "jstar-bench: -repeats %d: need at least one measurement repetition\n", *repeats)
 		os.Exit(2)
 	}
 	cfg := config{
@@ -135,9 +143,13 @@ func main() {
 	if want("strategies") {
 		strategiesTable(cfg)
 	}
+	if *phases {
+		ran = true
+		phasesTable(cfg)
+	}
 	if *smoke {
 		ran = true
-		smokeRun(cfg, *jsonPath)
+		smokeRun(cfg, *jsonPath, *maxBoundaryFrac)
 	}
 	if *savePlan != "" || *storePlan != "" {
 		ran = true
@@ -476,6 +488,14 @@ type smokeResult struct {
 	// only — the perf trajectory of the async event path.
 	EventsPerSec float64          `json:"events_per_sec,omitempty"`
 	BatchHist    map[string]int64 `json:"batch_hist"`
+	// Per-phase step breakdown (schema 3): coordinator nanos in rule
+	// dispatch vs the three boundary phases, plus the serial-boundary
+	// fraction — the Amdahl number the CI gate watches per commit.
+	FireNs       int64   `json:"fire_ns"`
+	InsertNs     int64   `json:"insert_ns"`
+	MergeNs      int64   `json:"merge_ns"`
+	DeltaNs      int64   `json:"delta_ns"`
+	BoundaryFrac float64 `json:"boundary_frac"`
 	// Tables records, per table, the store kind the run chose, the usage
 	// counters, and the kind the planner would pick next time — so the
 	// perf trajectory captures planner decisions commit over commit.
@@ -510,6 +530,22 @@ func tableRows(st *core.RunStats) []smokeTableRow {
 	return rows
 }
 
+// boundaryRow is one point of the step-boundary microbench sweep in the
+// artifact (the cmd twin of BenchmarkStepBoundary): a fan-out step whose
+// firings each put one tuple, crossed over slot counts and batch sizes,
+// so the boundary pipeline — sort, seal, merge, Delta load — dominates.
+type boundaryRow struct {
+	Threads      int     `json:"threads"`
+	Batch        int     `json:"batch"`
+	ElapsedNs    int64   `json:"elapsed_ns"` // min over repeats
+	NsPerTuple   float64 `json:"ns_per_tuple"`
+	FireNs       int64   `json:"fire_ns"`
+	InsertNs     int64   `json:"insert_ns"`
+	MergeNs      int64   `json:"merge_ns"`
+	DeltaNs      int64   `json:"delta_ns"`
+	BoundaryFrac float64 `json:"boundary_frac"`
+}
+
 // smokeArtifact is the BENCH_*.json schema CI uploads per run, so the
 // perf trajectory (and the batch-size distributions feeding store
 // auto-tuning) accumulates across commits.
@@ -521,15 +557,19 @@ type smokeArtifact struct {
 	GoVersion  string        `json:"go_version"`
 	Repeats    int           `json:"repeats"`
 	Runs       []smokeResult `json:"runs"`
+	// StepBoundary is the boundary microbench sweep (schema 3).
+	StepBoundary []boundaryRow `json:"step_boundary"`
 }
 
 // smokeRun measures small fixed workloads under the configured strategy and
 // (with -json) writes the machine-readable artifact. Counters come from the
-// minimum-elapsed run, so ns_per_firing matches elapsed_ns.
-func smokeRun(cfg config, jsonPath string) {
+// minimum-elapsed run, so ns_per_firing matches elapsed_ns. A non-zero
+// maxBoundaryFrac is the CI regression gate: if any app run spends a larger
+// fraction of its step loop inside the serial step boundary, exit 1.
+func smokeRun(cfg config, jsonPath string, maxBoundaryFrac float64) {
 	fmt.Println("== Benchmark smoke (CI artifact) ==")
 	art := smokeArtifact{
-		Schema:     2,
+		Schema:     3,
 		Strategy:   cfg.strategy.String(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -562,6 +602,11 @@ func smokeRun(cfg config, jsonPath string) {
 			MeanFireChunk: stats.MeanFireChunk(),
 			BatchHist:     stats.BatchHistogram(),
 			Tables:        tableRows(stats),
+			FireNs:        stats.FireNanos,
+			InsertNs:      stats.InsertNanos,
+			MergeNs:       stats.MergeNanos,
+			DeltaNs:       stats.DeltaNanos,
+			BoundaryFrac:  stats.SerialBoundaryFraction(),
 		}
 		if stats.TotalFired > 0 {
 			res.NsPerFiring = float64(best.Nanoseconds()) / float64(stats.TotalFired)
@@ -572,13 +617,14 @@ func smokeRun(cfg config, jsonPath string) {
 			rate = fmt.Sprintf("events/sec=%.0f", res.EventsPerSec)
 		}
 		art.Runs = append(art.Runs, res)
-		fmt.Printf("%-14s %12v  fired=%d  chunks=%d  mean-chunk=%.1f  %s\n",
+		fmt.Printf("%-14s %12v  fired=%d  chunks=%d  mean-chunk=%.1f  boundary=%.1f%%  %s\n",
 			name, best.Round(time.Microsecond), res.TotalFired, res.FireBatches,
-			res.MeanFireChunk, rate)
+			res.MeanFireChunk, 100*res.BoundaryFrac, rate)
 	}
 	measure("matmult", 0, func() (*core.RunStats, time.Duration) {
 		start := time.Now()
-		r, err := matmult.RunJStar(matmult.RunOpts{N: 96, Strategy: cfg.strategy, Threads: threads, Seed: 42})
+		r, err := matmult.RunJStar(matmult.RunOpts{
+			N: 96, Strategy: cfg.strategy, Threads: threads, Seed: 42, PhaseStats: true})
 		must(err)
 		return r.Run.Stats(), time.Since(start)
 	})
@@ -586,7 +632,8 @@ func smokeRun(cfg config, jsonPath string) {
 		// Without -noDelta so the readings flow through the Delta set and the
 		// batched dispatch path (with -noDelta they fire inline per §5.1).
 		start := time.Now()
-		r, err := pvwatts.RunJStar(csv, pvwatts.RunOpts{Strategy: cfg.strategy, Threads: threads})
+		r, err := pvwatts.RunJStar(csv, pvwatts.RunOpts{
+			Strategy: cfg.strategy, Threads: threads, PhaseStats: true})
 		must(err)
 		return r.Run.Stats(), time.Since(start)
 	})
@@ -608,7 +655,7 @@ func smokeRun(cfg config, jsonPath string) {
 			c.PutNew(out, tuple.Int(t.Int("n")), tuple.Int(2*t.Int("n")))
 		})
 		sess, err := p.Start(context.Background(), core.Options{
-			Strategy: cfg.strategy, Threads: threads, Quiet: true})
+			Strategy: cfg.strategy, Threads: threads, Quiet: true, PhaseStats: true})
 		must(err)
 		start := time.Now()
 		for j := int64(0); j < ingestEvents; j++ {
@@ -619,11 +666,147 @@ func smokeRun(cfg config, jsonPath string) {
 		must(sess.Close())
 		return sess.Stats(), d
 	})
+	art.StepBoundary = stepBoundarySweep(cfg)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(art, "", "  ")
 		must(err)
 		must(os.WriteFile(jsonPath, append(data, '\n'), 0o644))
 		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if maxBoundaryFrac > 0 {
+		for _, r := range art.Runs {
+			if r.BoundaryFrac > maxBoundaryFrac {
+				fmt.Fprintf(os.Stderr,
+					"jstar-bench: %s serial-boundary fraction %.1f%% exceeds the -max-boundary-frac gate (%.1f%%)\n",
+					r.Name, 100*r.BoundaryFrac, 100*maxBoundaryFrac)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("boundary gate: all runs within %.0f%%\n", 100*maxBoundaryFrac)
+	}
+	fmt.Println()
+}
+
+// boundaryProgram builds the step-boundary microbench program: one Src
+// tuple fans out `batch` Work tuples, and every Work firing puts one Out
+// tuple, so each step's boundary handles a batch-sized flush while the
+// rule bodies do almost nothing.
+func boundaryProgram(batch int) *core.Program {
+	p := core.NewProgram()
+	icol := func(n string) []tuple.Column { return []tuple.Column{{Name: n, Kind: tuple.KindInt}} }
+	src := p.Table("Src", icol("n"), []tuple.OrderEntry{tuple.Lit("Src")})
+	work := p.Table("Work", icol("i"), []tuple.OrderEntry{tuple.Lit("Work")})
+	out := p.Table("Out", icol("i"), []tuple.OrderEntry{tuple.Lit("Out")})
+	p.Order("Src", "Work", "Out")
+	p.Rule("fanout", src, func(c *core.Ctx, t *tuple.Tuple) {
+		for j := int64(0); j < t.Int("n"); j++ {
+			c.PutNew(work, tuple.Int(j))
+		}
+	})
+	p.Rule("emit", work, func(c *core.Ctx, t *tuple.Tuple) {
+		c.PutNew(out, t.Get("i"))
+	})
+	p.Put(tuple.New(src, tuple.Int(int64(batch))))
+	return p
+}
+
+// stepBoundarySweep runs the boundary microbench over slot counts and
+// batch sizes (the cmd twin of BenchmarkStepBoundary) and prints/returns
+// the rows for the artifact.
+func stepBoundarySweep(cfg config) []boundaryRow {
+	fmt.Println("-- step-boundary microbench (fan-out flush; boundary = insert+merge+delta share) --")
+	fmt.Printf("%8s %8s %12s %10s %10s %10s %10s %10s\n",
+		"threads", "batch", "time", "ns/tuple", "fire", "insert", "merge", "delta")
+	var rows []boundaryRow
+	threadSteps := []int{1, runtime.NumCPU()}
+	if threadSteps[1] == 1 {
+		threadSteps = threadSteps[:1]
+	}
+	for _, th := range threadSteps {
+		for _, batch := range []int{1 << 10, 1 << 13} {
+			strat := exec.ForkJoin
+			if th == 1 {
+				strat = exec.Sequential
+			}
+			var best time.Duration = 1<<62 - 1
+			var st *core.RunStats
+			for i := 0; i < cfg.repeats; i++ {
+				start := time.Now()
+				run, err := boundaryProgram(batch).Execute(core.Options{
+					Strategy: strat, Threads: th, Quiet: true, PhaseStats: true})
+				must(err)
+				if d := time.Since(start); d < best {
+					best, st = d, run.Stats()
+				}
+			}
+			row := boundaryRow{
+				Threads:      th,
+				Batch:        batch,
+				ElapsedNs:    best.Nanoseconds(),
+				NsPerTuple:   float64(best.Nanoseconds()) / float64(2*batch),
+				FireNs:       st.FireNanos,
+				InsertNs:     st.InsertNanos,
+				MergeNs:      st.MergeNanos,
+				DeltaNs:      st.DeltaNanos,
+				BoundaryFrac: st.SerialBoundaryFraction(),
+			}
+			rows = append(rows, row)
+			d := func(ns int64) time.Duration { return time.Duration(ns).Round(time.Microsecond) }
+			fmt.Printf("%8d %8d %12v %10.1f %10v %10v %10v %10v\n",
+				th, batch, best.Round(time.Microsecond), row.NsPerTuple,
+				d(row.FireNs), d(row.InsertNs), d(row.MergeNs), d(row.DeltaNs))
+		}
+	}
+	return rows
+}
+
+// phasesTable prints the per-phase step breakdown for the three apps —
+// where each strategy's time goes at the step boundary, and the serial
+// fraction capping its speedup (the §6.3 breakdown generalised).
+func phasesTable(cfg config) {
+	fmt.Println("== Per-phase step breakdown (fire | insert | merge | delta, boundary = serial share) ==")
+	threads := runtime.NumCPU()
+	csv := pvwatts.GenerateCSV(cfg.pvYears, false, 42)
+	gen := shortestpath.GenOpts{Vertices: cfg.spVertices, Extra: cfg.spExtra, Tasks: 24, Seed: 42}
+	apps := []struct {
+		name string
+		run  func() *core.RunStats
+	}{
+		{"pvwatts", func() *core.RunStats {
+			res, err := pvwatts.RunJStar(csv, pvwatts.RunOpts{
+				Strategy: cfg.strategy, Threads: threads, PhaseStats: true})
+			must(err)
+			return res.Run.Stats()
+		}},
+		{"matmult", func() *core.RunStats {
+			res, err := matmult.RunJStar(matmult.RunOpts{
+				N: cfg.matN, Strategy: cfg.strategy, Threads: threads, Seed: 42, PhaseStats: true})
+			must(err)
+			return res.Run.Stats()
+		}},
+		{"shortestpath", func() *core.RunStats {
+			res, err := shortestpath.RunJStar(shortestpath.RunOpts{
+				Gen: gen, Strategy: cfg.strategy, Threads: threads, PhaseStats: true})
+			must(err)
+			return res.Run.Stats()
+		}},
+	}
+	fmt.Printf("%-14s %12s %10s %10s %10s %10s %10s\n",
+		"program", "elapsed", "fire", "insert", "merge", "delta", "boundary")
+	for _, app := range apps {
+		var best time.Duration = 1<<62 - 1
+		var st *core.RunStats
+		for i := 0; i < cfg.repeats; i++ {
+			start := time.Now()
+			s := app.run()
+			if d := time.Since(start); d < best {
+				best, st = d, s
+			}
+		}
+		d := func(ns int64) time.Duration { return time.Duration(ns).Round(time.Microsecond) }
+		fmt.Printf("%-14s %12v %10v %10v %10v %10v %9.1f%%\n",
+			app.name, best.Round(time.Microsecond), d(st.FireNanos), d(st.InsertNanos),
+			d(st.MergeNanos), d(st.DeltaNanos), 100*st.SerialBoundaryFraction())
 	}
 	fmt.Println()
 }

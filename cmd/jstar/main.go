@@ -86,6 +86,9 @@ func main() {
 		Threads:        *threads,
 		CheckCausality: *runtimeCheck,
 		MaxSteps:       *maxSteps,
+		// -stats buys the per-phase step breakdown too; the clock reads it
+		// costs only matter on benchmark runs, which don't pass -stats.
+		PhaseStats: *showStats,
 	}
 	if *noDelta != "" {
 		opts.NoDelta = strings.Split(*noDelta, ",")

@@ -45,6 +45,9 @@ type RunOpts struct {
 	// non-replannable specialised backends through to its suggested plans.
 	StorePlan gamma.StorePlan
 	Seed      uint64
+	// PhaseStats records the per-phase step breakdown (jstar-bench -phases
+	// and the smoke artifact turn it on).
+	PhaseStats bool
 }
 
 // Result carries the product matrix (flat, row-major) and diagnostics.
@@ -173,6 +176,7 @@ func RunJStar(opts RunOpts) (*Result, error) {
 		NoDelta:    []string{"Matrix"},
 		StorePlan:  opts.StorePlan,
 		Quiet:      true,
+		PhaseStats: opts.PhaseStats,
 	})
 	if err != nil {
 		return nil, err

@@ -77,6 +77,9 @@ type RunOpts struct {
 	// executed in parallel, with a tree-based pass to combine the final
 	// reducer results").
 	ParallelReduce bool
+	// PhaseStats records the per-phase step breakdown (jstar-bench -phases
+	// and the smoke artifact turn it on).
+	PhaseStats bool
 }
 
 // parallelStats computes Statistics over vals with per-worker partials
@@ -272,6 +275,7 @@ func Program(csv []byte, opts RunOpts) (*core.Program, *core.Options, func(*core
 		StorePlan:     opts.StorePlan,
 		Quiet:         true,
 		TraceDataflow: opts.Trace,
+		PhaseStats:    opts.PhaseStats,
 	}
 	if opts.NoDelta {
 		co.NoDelta = append(co.NoDelta, "PvWatts")

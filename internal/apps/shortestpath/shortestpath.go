@@ -78,6 +78,9 @@ type RunOpts struct {
 	// the hash hints on Edge and Done for the tables it names.
 	StorePlan gamma.StorePlan
 	Verbose   bool // keep the Fig 5 println output
+	// PhaseStats records the per-phase step breakdown (jstar-bench -phases
+	// and the smoke artifact turn it on).
+	PhaseStats bool
 }
 
 // Result carries the distances (index = vertex, -1 unreachable).
@@ -166,6 +169,7 @@ func RunJStar(opts RunOpts) (*Result, error) {
 		NoGamma:    []string{"Estimate"},
 		StorePlan:  opts.StorePlan,
 		Quiet:      !opts.Verbose,
+		PhaseStats: opts.PhaseStats,
 	})
 	if err != nil {
 		return nil, err

@@ -219,6 +219,13 @@ type Options struct {
 	// TraceDataflow records rule->table put counts for the dependency
 	// graph visualiser (§1.5). Off for benchmarks: it takes a lock per put.
 	TraceDataflow bool
+	// PhaseStats records the per-phase step breakdown
+	// (RunStats.FireNanos/InsertNanos/MergeNanos/DeltaNanos and the
+	// serial-boundary fraction). Off by default: it costs a handful of
+	// clock reads per step, which shows on step-dominated programs;
+	// jstar-bench (-smoke, -phases) and the step-boundary benches turn it
+	// on.
+	PhaseStats bool
 	// IngressRing is the capacity of the Session ingress ring — the
 	// multi-producer Disruptor ring external tuples pass through on their
 	// way into the Delta set. Must be a power of two; 0 means 1024. A full

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,23 @@ type RunStats struct {
 	// kinds for backend suitability; tables whose stores are never used).
 	schemas map[string]*tuple.Schema
 	noGamma map[string]bool
+
+	// Per-phase step breakdown, in coordinator wall-clock nanoseconds:
+	// InsertNanos covers BeginStep (batch sort, Gamma inserts, external
+	// actions), FireNanos the rule dispatch between BeginStep and EndStep,
+	// MergeNanos the EndStep seal-and-merge of the per-slot put runs, and
+	// DeltaNanos the Delta-tree bulk load. Fire runs parallel under the
+	// parallel strategies; the other three are the step boundary — the
+	// serial fraction that Amdahl-caps every scaling direction, which is
+	// why the boundary now sorts at the source, merges instead of
+	// re-sorting, and shards its inserts. Recorded only under
+	// Options.PhaseStats (a few clock reads per step are visible on
+	// step-dominated programs); written only by the coordinator — read
+	// them at quiescence like Steps/Elapsed.
+	InsertNanos int64
+	FireNanos   int64
+	MergeNanos  int64
+	DeltaNanos  int64
 
 	// FireBatches counts batched dispatch calls (FireBatch chunks); with
 	// TotalLive it gives the mean chunk size the executor achieved —
@@ -163,6 +181,25 @@ func (s *RunStats) BatchHistogram() map[string]int64 {
 	return out
 }
 
+// BoundaryNanos returns the coordinator time spent inside step boundaries
+// (everything but rule dispatch): BeginStep's sort+insert, the flush
+// merge, and the Delta-tree load.
+func (s *RunStats) BoundaryNanos() int64 {
+	return s.InsertNanos + s.MergeNanos + s.DeltaNanos
+}
+
+// SerialBoundaryFraction returns the step boundary's share of the step
+// loop (boundary / (boundary + fire)), 0 before any step. It is the
+// Amdahl serial fraction of the execution loop: with 0.5, no strategy can
+// beat 2x however many workers fire rules. The CI smoke gate watches it.
+func (s *RunStats) SerialBoundaryFraction() float64 {
+	b, f := s.BoundaryNanos(), s.FireNanos
+	if b+f == 0 {
+		return 0
+	}
+	return float64(b) / float64(b+f)
+}
+
 // SuggestStrategy recommends an executor strategy for re-running the same
 // program, computed from the observed mean parallel batch size (live
 // tuples per step — the same measurement the Auto strategy makes mid-run,
@@ -176,16 +213,30 @@ func (s *RunStats) SuggestStrategy(threads int) exec.Strategy {
 }
 
 // putSlot is one participant's put buffer. Rule firings on slot i append
-// here and the coordinator flushes all slots into the Delta tree as one
-// sorted batch at the step boundary — so no firing ever contends on the
-// global Delta-tree structures. The mutex is uncontended in the common
-// case (one goroutine per slot per step); it exists because a rule may
-// fan its own body out across the pool (§5.2 "additional parallelism"),
-// making several workers share the firing rule's slot.
+// here; at the step boundary the slot is *sealed* — its buffer sorted by
+// tuple.ComparePath and handed off as one pre-sorted run — and the
+// coordinator k-way merges the sealed runs into the Delta tree. Executors
+// seal from the workers themselves (exec.Host.SealSlot), so the sorting
+// half of the old serial flush now runs in parallel; EndStep seals
+// whatever the executor did not. No firing ever contends on the global
+// Delta-tree structures. The mutex is uncontended in the common case (one
+// goroutine per slot per step); it exists because a rule may fan its own
+// body out across the pool (§5.2 "additional parallelism"), making
+// several workers share the firing rule's slot.
 type putSlot struct {
 	mu  sync.Mutex
 	buf []*tuple.Tuple
 	_   [4]uint64 // keep adjacent slots off one cache line
+}
+
+// sealedRun is one slot's sorted put run awaiting the step-boundary merge.
+// The slot index rides along so the (capacity-retaining) buffer returns to
+// its owner after the merge — buffers cycle fill → seal → merge → return,
+// cleared of stale tuple pointers before reuse so a grown buffer never
+// pins dead tuples across steps.
+type sealedRun struct {
+	slot int
+	ts   []*tuple.Tuple
 }
 
 // Run is one execution of a Program under a set of Options.
@@ -201,8 +252,25 @@ type Run struct {
 	threads  int
 
 	slots    []putSlot
-	slotCtx  []Ctx          // per-slot reusable rule contexts for fireBatch
-	flushBuf []*tuple.Tuple // coordinator-only scratch for endStep
+	slotCtx  []Ctx            // per-slot reusable rule contexts for fireBatch
+	flushBuf []*tuple.Tuple   // coordinator-only merge scratch for endStep
+	groupBuf []insGroup       // coordinator-only scratch for beginStep's groups
+	runsBuf  [][]*tuple.Tuple // coordinator-only scratch for endStep's merge input
+
+	// sealed collects the step's sorted per-slot runs (SealSlot). The
+	// mutex orders concurrent worker seals; the coordinator drains the
+	// list inside endStep, after the executor has quiesced the step.
+	sealMu sync.Mutex
+	sealed []sealedRun
+	// dupFn is the shared duplicate-accounting callback of the flush path
+	// (merge dedup and Delta-tree dedup both report through it), built
+	// once so the per-step flush allocates no closures.
+	dupFn func(*tuple.Tuple)
+	// phaseClock enables the per-phase step timing (Options.PhaseStats);
+	// fireStart is the coordinator timestamp of the last BeginStep return,
+	// zero outside a step; endStep turns it into RunStats.FireNanos.
+	phaseClock bool
+	fireStart  time.Time
 
 	// Dense per-schema-ID tables replacing map lookups on the hot path.
 	noDelta   []bool
@@ -231,10 +299,15 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 	}
 	r.out.quiet = opts.Quiet
 
-	// All Delta-tree mutation is funnelled through the coordinator's
-	// step-boundary flush (PutBatch), so even parallel strategies use the
-	// sequential red-black-tree backend — the skip-list Delta tree and its
-	// contention (§6.5) are gone from the engine hot path.
+	// Delta-tree mutation happens only at the step-boundary flush
+	// (PutSorted, or PutPart over the disjoint SplitBulk partitions when
+	// the flush is sharded across the pool), never from rule firings, so
+	// even parallel strategies use the sequential red-black-tree backend —
+	// the skip-list Delta tree and its contention (§6.5) are gone from the
+	// engine hot path. Concurrent PutPart calls are safe only because
+	// SplitBulk partitions never share a subtree below the pre-created
+	// spine (size/dups are atomics, leaf sets lock); any new tree mutation
+	// reachable from putRun must preserve that disjointness.
 	r.delta = delta.NewSequential(p.po)
 	// Gamma backend choice follows the effective parallelism, not just the
 	// requested one: Auto on a single-scheduler machine can only ever pick
@@ -334,6 +407,11 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 	r.slotCtx = make([]Ctx, r.threads+1)
 	for i := range r.slotCtx {
 		r.slotCtx[i] = Ctx{run: r, slot: i}
+	}
+	r.sealed = make([]sealedRun, 0, r.threads+1)
+	r.phaseClock = opts.PhaseStats
+	r.dupFn = func(t *tuple.Tuple) {
+		r.statsByID[t.Schema().ID()].Duplicates.Add(1)
 	}
 	return r, nil
 }
@@ -473,23 +551,43 @@ func (r *Run) nextBatch() ([]*tuple.Tuple, error) {
 	}
 }
 
+// shardInsertMin is the smallest step batch worth fanning per-schema
+// insert groups across the pool; smaller batches insert serially on the
+// coordinator, where one store lock episode already amortises fine.
+const shardInsertMin = 256
+
+// insGroup is one schema-homogeneous segment of a step batch during
+// beginStep's Gamma insert: batch[lo:hi], with kept live tuples compacted
+// to the segment's prefix after the (possibly concurrent) insert.
+type insGroup struct {
+	lo, hi int
+	kept   int
+}
+
 // beginStep moves one causal equivalence class into Gamma — batch-wise, one
 // store synchronisation episode per table run — and performs external
 // actions. It returns the live (non-duplicate) tuples whose rules fire.
+//
+// Multi-table batches on pooled runs insert their schema groups
+// concurrently: distinct tables resolve to distinct stores, so the groups
+// never alias, and each group filters its duplicates in place before a
+// serial compaction restores the deterministic sorted live order.
 func (r *Run) beginStep(batch []*tuple.Tuple) []*tuple.Tuple {
+	var start time.Time
+	if r.phaseClock {
+		start = time.Now()
+	}
 	// Tuples within one equivalence class are unordered; sorting by table
 	// then fields groups each store's insert run, gives ordered backends
-	// locality, and makes sequential firing order deterministic.
+	// locality, and makes sequential firing order deterministic. The
+	// key-prefixed SortFunc replaces the old reflection-closure sort.Slice
+	// with byte-identical ordering.
 	if len(batch) > 1 {
-		sort.Slice(batch, func(i, j int) bool {
-			a, b := batch[i], batch[j]
-			if a.Schema() != b.Schema() {
-				return a.Schema().ID() < b.Schema().ID()
-			}
-			return a.CompareFields(b) < 0
-		})
+		slices.SortFunc(batch, tuple.CompareSchemaFields)
 	}
-	live := batch[:0]
+	// Split into schema-homogeneous groups (capacity-retaining scratch:
+	// the step loop allocates nothing per step).
+	groups := r.groupBuf[:0]
 	anyAction := false
 	for i := 0; i < len(batch); {
 		s := batch[i].Schema()
@@ -497,27 +595,48 @@ func (r *Run) beginStep(batch []*tuple.Tuple) []*tuple.Tuple {
 		for j < len(batch) && batch[j].Schema() == s {
 			j++
 		}
-		group := batch[i:j]
-		id := s.ID()
-		if r.hasAction[id] {
+		if r.hasAction[s.ID()] {
 			anyAction = true
 		}
-		if r.noGamma[id] {
-			live = append(live, group...)
-		} else {
-			// Positive queries may see tuples with timestamps <= the
-			// trigger's, which includes batch-mates, so the whole batch
-			// lands in Gamma before any rule fires. Duplicates were already
-			// processed in an earlier step: set semantics say they are
-			// discarded and their rules do not re-fire.
-			n := len(live)
-			live = gamma.InsertBatch(r.gammaDB.Table(s), group, live)
-			if dups := len(group) - (len(live) - n); dups > 0 {
-				r.statsByID[id].Duplicates.Add(int64(dups))
-			}
-		}
+		groups = append(groups, insGroup{lo: i, hi: j})
 		i = j
 	}
+	// insertGroup dedup-inserts one group into its table's store, keeping
+	// the live tuples as a prefix of the group's own segment (writes never
+	// outrun reads, the usual filter-in-place discipline).
+	insertGroup := func(g *insGroup) {
+		group := batch[g.lo:g.hi]
+		s := group[0].Schema()
+		id := s.ID()
+		if r.noGamma[id] {
+			g.kept = len(group)
+			return
+		}
+		// Positive queries may see tuples with timestamps <= the
+		// trigger's, which includes batch-mates, so the whole batch
+		// lands in Gamma before any rule fires. Duplicates were already
+		// processed in an earlier step: set semantics say they are
+		// discarded and their rules do not re-fire.
+		live := gamma.InsertBatch(r.gammaDB.Table(s), group, group[:0:len(group)])
+		g.kept = len(live)
+		if dups := len(group) - g.kept; dups > 0 {
+			r.statsByID[id].Duplicates.Add(int64(dups))
+		}
+	}
+	if len(groups) > 1 && r.pool != nil && len(batch) >= shardInsertMin {
+		r.pool.For(len(groups), 1, func(i int) { insertGroup(&groups[i]) })
+	} else {
+		for i := range groups {
+			insertGroup(&groups[i])
+		}
+	}
+	// Compact the kept prefixes into one contiguous live batch, preserving
+	// the sorted order (the write cursor never passes a group's start).
+	live := batch[:0]
+	for _, g := range groups {
+		live = append(live, batch[g.lo:g.lo+g.kept]...)
+	}
+	r.groupBuf = groups[:0]
 	r.stats.TotalLive += int64(len(live))
 	// External actions (paper §3) run on the coordinator, in deterministic
 	// order within the batch, before the batch's rules fire. anyAction
@@ -525,25 +644,116 @@ func (r *Run) beginStep(batch []*tuple.Tuple) []*tuple.Tuple {
 	if anyAction {
 		r.runActions(live)
 	}
+	if r.phaseClock {
+		now := time.Now()
+		r.stats.InsertNanos += now.Sub(start).Nanoseconds()
+		r.fireStart = now
+	}
 	return live
 }
 
-// endStep flushes every put buffer into the Delta tree as one sorted batch.
-// Called only by the executor's coordinator with all firings quiesced.
+// sealSlot takes slot's put buffer, sorts it by tuple.ComparePath, and
+// queues it as one pre-sorted run for the step's k-way merge. Safe to call
+// concurrently for distinct slots — this is how the parallel executors
+// move the flush sort off the coordinator — and a no-op for empty slots,
+// so sealing every slot defensively costs almost nothing.
+func (r *Run) sealSlot(slot int) {
+	sl := &r.slots[slot]
+	sl.mu.Lock()
+	buf := sl.buf
+	if len(buf) == 0 {
+		sl.mu.Unlock()
+		return
+	}
+	sl.buf = nil
+	sl.mu.Unlock()
+	if len(buf) > 1 {
+		slices.SortFunc(buf, tuple.ComparePath)
+	}
+	r.sealMu.Lock()
+	r.sealed = append(r.sealed, sealedRun{slot: slot, ts: buf})
+	r.sealMu.Unlock()
+}
+
+// endStep merges the step's sealed put runs into one sorted, deduplicated
+// flush and bulk-loads it into the Delta tree. Called only by the
+// executor's coordinator with all firings quiesced; it seals any slot the
+// executor left unsealed (sequential runs, lone-chunk fire paths, ingress
+// absorbs), so SealSlot remains an optimisation rather than an obligation.
 func (r *Run) endStep() {
-	flush := r.flushBuf[:0]
-	for i := range r.slots {
-		if sl := &r.slots[i]; len(sl.buf) > 0 {
-			flush = append(flush, sl.buf...)
-			sl.buf = sl.buf[:0]
+	var mergeStart time.Time
+	if r.phaseClock {
+		mergeStart = time.Now()
+		if !r.fireStart.IsZero() {
+			r.stats.FireNanos += mergeStart.Sub(r.fireStart).Nanoseconds()
+			r.fireStart = time.Time{}
 		}
 	}
-	if len(flush) > 0 {
-		r.delta.PutBatch(flush, func(t *tuple.Tuple) {
-			r.statsByID[t.Schema().ID()].Duplicates.Add(1)
-		})
+	for i := range r.slots {
+		r.sealSlot(i)
 	}
-	r.flushBuf = flush[:0]
+	runs := r.sealed // workers are quiesced; drained under the lock below anyway
+	var flush []*tuple.Tuple
+	singleRun := len(runs) == 1
+	if singleRun {
+		// One run: dedup in place, feed it to the tree directly — the
+		// common sequential shape pays no copy at all.
+		flush = dedupSortedInPlace(runs[0].ts, r.dupFn)
+	} else if len(runs) > 1 {
+		rs := r.runsBuf[:0]
+		for i := range runs {
+			rs = append(rs, runs[i].ts)
+		}
+		flush = mergeRuns(rs, r.flushBuf[:0], r.dupFn)
+		clear(rs)
+		r.runsBuf = rs[:0]
+	}
+	var deltaStart time.Time
+	if r.phaseClock {
+		deltaStart = time.Now()
+		r.stats.MergeNanos += deltaStart.Sub(mergeStart).Nanoseconds()
+	}
+	if len(flush) > 0 {
+		loaded := false
+		if r.pool != nil && len(flush) >= shardInsertMin {
+			if parts := r.delta.SplitBulk(flush); len(parts) > 1 {
+				r.pool.For(len(parts), 1, func(i int) {
+					r.delta.PutPart(parts[i], r.dupFn)
+				})
+				loaded = true
+			}
+		}
+		if !loaded {
+			r.delta.PutSorted(flush, r.dupFn)
+		}
+	}
+	// Recycle: hand each run's array back to its slot with stale tuple
+	// pointers cleared, so buffers keep their grown capacity across steps
+	// without pinning dead tuples; same for the merge scratch. Clearing
+	// [:len] suffices: pointer-typed arrays are allocated zeroed and every
+	// recycle re-zeroes the used prefix, so slots past len stay nil by
+	// induction.
+	r.sealMu.Lock()
+	r.sealed = r.sealed[:0]
+	r.sealMu.Unlock()
+	for _, run := range runs {
+		clear(run.ts)
+		sl := &r.slots[run.slot]
+		sl.mu.Lock()
+		if sl.buf == nil {
+			sl.buf = run.ts[:0]
+		}
+		sl.mu.Unlock()
+	}
+	if !singleRun && flush != nil {
+		clear(flush)
+		r.flushBuf = flush[:0]
+	}
+	// The recycle loop is serial coordinator work, so it counts toward the
+	// boundary fraction the CI gate watches.
+	if r.phaseClock {
+		r.stats.DeltaNanos += time.Since(deltaStart).Nanoseconds()
+	}
 }
 
 // runActions performs registered external actions for the batch's tuples.

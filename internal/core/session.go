@@ -457,5 +457,6 @@ func (h sessionHost) NextBatch() ([]*tuple.Tuple, error) {
 
 func (h sessionHost) BeginStep(b []*tuple.Tuple) []*tuple.Tuple { return h.s.run.beginStep(b) }
 func (h sessionHost) FireBatch(ts []*tuple.Tuple, slot int)     { h.s.run.fireBatch(ts, slot) }
+func (h sessionHost) SealSlot(slot int)                         { h.s.run.sealSlot(slot) }
 func (h sessionHost) EndStep()                                  { h.s.run.endStep() }
 func (h sessionHost) Err() error                                { return h.s.run.loadFail() }

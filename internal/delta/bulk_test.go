@@ -1,0 +1,160 @@
+package delta
+
+import (
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"github.com/jstar-lang/jstar/internal/order"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// bulkSchemas: three tables, two sharing a top-level literal (they must
+// land in one partition) and one with its own.
+func bulkSchemas() (*order.PartialOrder, []*tuple.Schema) {
+	po := order.NewPartialOrder()
+	mk := func(name, lit string, id int32) *tuple.Schema {
+		s := tuple.MustSchema(name,
+			[]tuple.Column{{Name: "t", Kind: tuple.KindInt}, {Name: "v", Kind: tuple.KindInt}},
+			[]tuple.OrderEntry{tuple.Lit(lit), tuple.Seq("t")})
+		s.SetID(id)
+		po.Touch(lit)
+		return s
+	}
+	a := mk("BA", "L1", 0)
+	b := mk("BB", "L1", 1)
+	c := mk("BC", "L2", 2)
+	return po, []*tuple.Schema{a, b, c}
+}
+
+// drainAllBatches drains a tree to a flat []string of batch contents, with
+// each batch internally sorted (intra-batch order is unspecified).
+func drainAllBatches(tr *Tree) []string {
+	var out []string
+	for {
+		b := tr.TakeMinBatch()
+		if b == nil {
+			return out
+		}
+		var lines []string
+		for _, t := range b {
+			lines = append(lines, t.String())
+		}
+		slices.Sort(lines)
+		out = append(out, "batch:")
+		out = append(out, lines...)
+	}
+}
+
+// TestSplitBulkMatchesPutBatch: loading a ComparePath-sorted flush through
+// SplitBulk+PutPart — serially or with one goroutine per part — must yield
+// a tree that drains identically to the PutBatch reference, with the same
+// added and duplicate counts.
+func TestSplitBulkMatchesPutBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 80; trial++ {
+		po, schemas := bulkSchemas()
+		var ts []*tuple.Tuple
+		for i := 0; i < rng.Intn(200); i++ {
+			s := schemas[rng.Intn(len(schemas))]
+			ts = append(ts, tuple.New(s,
+				tuple.Int(int64(rng.Intn(8))), tuple.Int(int64(rng.Intn(6)))))
+		}
+		ref := NewSequential(po)
+		refTs := append([]*tuple.Tuple(nil), ts...)
+		refDups := 0
+		refAdded := ref.PutBatch(refTs, func(*tuple.Tuple) { refDups++ })
+		want := drainAllBatches(ref)
+
+		for _, concurrent := range []bool{false, true} {
+			tr := NewSequential(po)
+			sorted := append([]*tuple.Tuple(nil), ts...)
+			slices.SortFunc(sorted, tuple.ComparePath)
+			parts := tr.SplitBulk(sorted)
+			if len(ts) > 0 && parts == nil {
+				t.Fatalf("trial %d: SplitBulk returned nil for a literal top level", trial)
+			}
+			total := 0
+			for i := range parts {
+				total += parts[i].Len()
+			}
+			if total != len(ts) {
+				t.Fatalf("trial %d: parts cover %d tuples, want %d", trial, total, len(ts))
+			}
+			var dupMu sync.Mutex
+			dups, added := 0, 0
+			if concurrent {
+				var wg sync.WaitGroup
+				addCh := make(chan int, len(parts))
+				for i := range parts {
+					wg.Add(1)
+					go func(p BulkPart) {
+						defer wg.Done()
+						addCh <- tr.PutPart(p, func(*tuple.Tuple) {
+							dupMu.Lock()
+							dups++
+							dupMu.Unlock()
+						})
+					}(parts[i])
+				}
+				wg.Wait()
+				close(addCh)
+				for a := range addCh {
+					added += a
+				}
+			} else {
+				for i := range parts {
+					added += tr.PutPart(parts[i], func(*tuple.Tuple) { dups++ })
+				}
+			}
+			if added != refAdded || dups != refDups {
+				t.Fatalf("trial %d concurrent=%v: added=%d dups=%d, reference added=%d dups=%d",
+					trial, concurrent, added, dups, refAdded, refDups)
+			}
+			got := drainAllBatches(tr)
+			if !slices.Equal(got, want) {
+				t.Fatalf("trial %d concurrent=%v: drained sequence differs\ngot:  %v\nwant: %v",
+					trial, concurrent, got, want)
+			}
+		}
+	}
+}
+
+// TestSplitBulkDataDependentTopLevel: a seq top level cannot be
+// partitioned safely — SplitBulk must decline so the caller falls back to
+// the serial PutSorted.
+func TestSplitBulkDataDependentTopLevel(t *testing.T) {
+	s := tuple.MustSchema("SeqTop",
+		[]tuple.Column{{Name: "t", Kind: tuple.KindInt}},
+		[]tuple.OrderEntry{tuple.Seq("t")})
+	tr := NewSequential(order.NewPartialOrder())
+	ts := []*tuple.Tuple{tuple.New(s, tuple.Int(1)), tuple.New(s, tuple.Int(2))}
+	slices.SortFunc(ts, tuple.ComparePath)
+	if parts := tr.SplitBulk(ts); parts != nil {
+		t.Fatalf("SplitBulk = %d parts for a seq top level, want nil", len(parts))
+	}
+	if tr.PutSorted(ts, nil) != 2 || tr.Len() != 2 {
+		t.Fatalf("PutSorted fallback failed: len=%d", tr.Len())
+	}
+}
+
+// TestPutSortedSpineReuse: PutSorted must be equivalent to PutBatch even
+// when the input is not actually sorted (sortedness is a locality
+// contract only).
+func TestPutSortedUnsortedInputStillCorrect(t *testing.T) {
+	po, schemas := bulkSchemas()
+	rng := rand.New(rand.NewSource(5))
+	var ts []*tuple.Tuple
+	for i := 0; i < 100; i++ {
+		s := schemas[rng.Intn(len(schemas))]
+		ts = append(ts, tuple.New(s, tuple.Int(int64(rng.Intn(5))), tuple.Int(int64(rng.Intn(4)))))
+	}
+	ref := NewSequential(po)
+	ref.PutBatch(append([]*tuple.Tuple(nil), ts...), nil)
+	tr := NewSequential(po)
+	tr.PutSorted(ts, nil) // deliberately unsorted
+	if got, want := drainAllBatches(tr), drainAllBatches(ref); !slices.Equal(got, want) {
+		t.Fatalf("PutSorted on unsorted input drained differently\ngot:  %v\nwant: %v", got, want)
+	}
+}

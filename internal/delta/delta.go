@@ -23,7 +23,7 @@ package delta
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -188,7 +188,11 @@ func (tr *Tree) Len() int { return int(tr.size.Load()) }
 // Empty reports whether no tuples are queued.
 func (tr *Tree) Empty() bool { return tr.size.Load() == 0 }
 
-// Duplicates returns how many inserts were discarded as duplicates.
+// Duplicates returns how many inserts the tree itself discarded as
+// duplicates (Put collisions and bulk-load tuples equal to one already
+// queued). Since the k-way merge flush, same-step duplicates are dropped
+// before the tree sees them and show up only in the engine's per-table
+// counters, not here.
 func (tr *Tree) Duplicates() int64 { return tr.dups.Load() }
 
 // Put inserts t, returning false if an equal tuple was already queued.
@@ -241,31 +245,52 @@ func (tr *Tree) resolveKey(t *tuple.Tuple, i int) (tuple.Value, tuple.OrderKind)
 
 // PutBatch inserts all of ts, calling dup (if non-nil) for each tuple
 // discarded as a duplicate, and returns the number actually added. The batch
-// is sorted in place by Delta-tree path so consecutive inserts share tree
-// descents; tuples whose paths match the previous tuple's reuse the cached
-// node spine instead of descending from the root.
+// is sorted in place by Delta-tree path (tuple.ComparePath — a key-based
+// slices.SortFunc, no reflection-closure sort) so consecutive inserts share
+// tree descents; tuples whose paths match the previous tuple's reuse the
+// cached node spine instead of descending from the root.
 //
-// PutBatch is the step-boundary flush path of the batched execution engine:
-// it must not race with Put, TakeMinBatch, or another PutBatch. Because the
-// engine now funnels all Delta mutation through the coordinator, a
-// sequential tree backend suffices even for parallel runs.
+// PutBatch is the legacy one-shot flush path: it must not race with Put,
+// TakeMinBatch, or another PutBatch. The engine's step boundary now seals
+// per-slot runs pre-sorted in this same order and feeds the merged stream
+// through PutSorted/PutPart, skipping this sort entirely.
 func (tr *Tree) PutBatch(ts []*tuple.Tuple, dup func(*tuple.Tuple)) int {
 	if len(ts) == 0 {
 		return 0
 	}
 	if len(ts) > 1 {
-		sort.Slice(ts, func(i, j int) bool { return tr.pathLess(ts[i], ts[j]) })
+		slices.SortFunc(ts, tuple.ComparePath)
 	}
+	return tr.PutSorted(ts, dup)
+}
+
+// PutSorted is PutBatch for a batch already sorted by tuple.ComparePath
+// (the order sealed slot runs and their k-way merge produce): it skips the
+// sort and goes straight to the spine-sharing insert loop. Sortedness is a
+// locality contract, not a correctness one — out-of-order input still
+// inserts correctly, just with fewer shared descents.
+func (tr *Tree) PutSorted(ts []*tuple.Tuple, dup func(*tuple.Tuple)) int {
+	added := tr.putRun(tr.root, 0, ts, dup)
+	tr.size.Add(int64(added))
+	return added
+}
+
+// putRun inserts one path-contiguous run of tuples, descending from start
+// (the node reached after resolving the first `level` path components of
+// every tuple in the run). spine[i] caches the node reached after level
+// start+i of the previous tuple's path, so path-sorted runs descend once
+// per distinct path, not once per tuple. Returns the number added; the
+// caller folds it into tr.size.
+func (tr *Tree) putRun(start *node, level int, ts []*tuple.Tuple, dup func(*tuple.Tuple)) int {
 	added := 0
-	// spine[i] is the node reached after resolving level i of prev's path.
 	var spine []*node
 	var prev *tuple.Tuple
 	for _, t := range ts {
 		depth := len(t.Schema().OrderBy)
 		// Longest prefix of the path shared with the previous tuple.
-		shared := 0
+		shared := level
 		if prev != nil {
-			maxShare := len(spine)
+			maxShare := level + len(spine)
 			if depth < maxShare {
 				maxShare = depth
 			}
@@ -278,11 +303,11 @@ func (tr *Tree) PutBatch(ts []*tuple.Tuple, dup func(*tuple.Tuple)) int {
 				shared++
 			}
 		}
-		n := tr.root
-		if shared > 0 {
-			n = spine[shared-1]
+		n := start
+		if shared > level {
+			n = spine[shared-level-1]
 		}
-		spine = spine[:shared]
+		spine = spine[:shared-level]
 		for i := shared; i < depth; i++ {
 			key, kind := tr.resolveKey(t, i)
 			n.childInit.Do(func() {
@@ -306,31 +331,94 @@ func (tr *Tree) PutBatch(ts []*tuple.Tuple, dup func(*tuple.Tuple)) int {
 			}
 		}
 	}
-	tr.size.Add(int64(added))
 	return added
 }
 
-// pathLess orders tuples so PutBatch inserts share tree descents. Schema
-// identity is compared first — tuples of one schema share every
-// lit-resolved edge of their path, so grouping by schema captures the lit
-// levels without resolving them — then the seq/par orderby fields in
-// declaration order. Equal paths reach the same leaf set whatever their
-// relative order, so ties need no further work.
-func (tr *Tree) pathLess(a, b *tuple.Tuple) bool {
-	sa, sb := a.Schema(), b.Schema()
-	if sa != sb {
-		return sa.ID() < sb.ID()
+// BulkPart is one independently loadable partition of a flush batch: runs
+// of tuples whose Delta-tree paths all pass through (or end at) one
+// pre-created node, so concurrent PutPart calls on distinct parts never
+// mutate a shared interior map. Produced by SplitBulk.
+type BulkPart struct {
+	start *node
+	level int
+	runs  [][]*tuple.Tuple
+}
+
+// Len returns the number of tuples in the part.
+func (p *BulkPart) Len() int {
+	n := 0
+	for _, r := range p.runs {
+		n += len(r)
 	}
-	for i, e := range sa.OrderBy {
-		if e.Kind == tuple.OrderLit {
+	return n
+}
+
+// SplitBulk partitions a ComparePath-sorted flush into parts that may be
+// bulk-loaded concurrently (one PutPart call per part, any goroutine
+// each): the top Delta-tree level is resolved and its child nodes are
+// created here, on the caller, so the parts only ever touch disjoint
+// subtrees below them. Tables sharing a top-level literal land in the same
+// part; tables whose paths end at the root are safe in any part (the root
+// leaf set carries its own lock) and join the first.
+//
+// It returns nil when the batch cannot be partitioned — a data-dependent
+// (seq/par) top level, where sibling tables' key spaces can alias — in
+// which case the caller should fall back to PutSorted. Must not race with
+// Put/TakeMinBatch, like every bulk path.
+func (tr *Tree) SplitBulk(ts []*tuple.Tuple) []BulkPart {
+	var parts []BulkPart
+	byNode := make(map[*node]int)
+	for lo := 0; lo < len(ts); {
+		s := ts[lo].Schema()
+		hi := lo + 1
+		for hi < len(ts) && ts[hi].Schema() == s {
+			hi++
+		}
+		run := ts[lo:hi:hi]
+		lo = hi
+		var start *node
+		var level int
+		if len(s.OrderBy) == 0 {
+			start, level = tr.root, 0
+		} else {
+			e := s.OrderBy[0]
+			if e.Kind != tuple.OrderLit {
+				return nil // data-dependent top level: not partitionable
+			}
+			key := tuple.Int(int64(tr.po.Rank(e.Lit)))
+			n := tr.root
+			n.childInit.Do(func() {
+				n.children = tr.newMap()
+				n.childKind = tuple.OrderLit
+			})
+			if n.childKind != tuple.OrderLit {
+				panic(fmt.Sprintf("jstar: table %s orderby entry 0 (%v) conflicts with sibling tables at the same Delta-tree level (%v)",
+					s.Name, tuple.OrderLit, n.childKind))
+			}
+			start = n.children.getOrCreate(key, func() *node { return &node{} })
+			level = 1
+		}
+		if i, ok := byNode[start]; ok {
+			parts[i].runs = append(parts[i].runs, run)
 			continue
 		}
-		col := sa.OrderByColumn(i)
-		if c := tuple.Compare(a.Field(col), b.Field(col)); c != 0 {
-			return c < 0
-		}
+		byNode[start] = len(parts)
+		parts = append(parts, BulkPart{start: start, level: level, runs: [][]*tuple.Tuple{run}})
 	}
-	return false
+	return parts
+}
+
+// PutPart bulk-loads one SplitBulk partition. Distinct parts of the same
+// split may run concurrently (the sharded flush path); the usual bulk
+// contract still holds against Put/TakeMinBatch. dup may be called from
+// the loading goroutine and must be safe under the split's concurrency.
+func (tr *Tree) PutPart(p BulkPart, dup func(*tuple.Tuple)) int {
+	added := 0
+	for _, run := range p.runs {
+		added += tr.putRun(p.start, p.level, run, dup)
+	}
+	tr.size.Add(int64(added))
+	return added
 }
 
 // TakeMinBatch removes and returns the minimal causal equivalence class:

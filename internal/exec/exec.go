@@ -26,10 +26,11 @@
 // batch-first on both sides of a firing:
 //
 //   - Writes: rule firings append new tuples to per-worker put buffers
-//     (identified by the slot index passed to FireBatch), and the
-//     coordinator flushes every buffer into the Delta tree as one sorted
-//     batch at the step boundary (EndStep). No firing ever takes the
-//     Delta-tree lock.
+//     (identified by the slot index passed to FireBatch). At the step
+//     boundary each buffer is sealed — sorted and handed off as one
+//     pre-sorted run (SealSlot, called from the workers so the sorting
+//     parallelises) — and the coordinator k-way merges the runs into the
+//     Delta tree (EndStep). No firing ever takes the Delta-tree lock.
 //   - Dispatch: a strategy never hands tuples to the engine one at a time.
 //     It partitions each step's live batch into contiguous chunks — grain-
 //     sized chunks claimed by pool workers for ForkJoin, ring segments for
@@ -131,8 +132,16 @@ type Host interface {
 	// the chunk and hands schema-homogeneous runs to batch-aware rule
 	// bodies in one call.
 	FireBatch(ts []*tuple.Tuple, slot int)
-	// EndStep flushes all put buffers into the Delta tree as one sorted
-	// batch.
+	// SealSlot sorts slot's put buffer and hands it off as one pre-sorted
+	// run for the step's flush merge. Strategies should call it from their
+	// workers once the step's firings are done, so the sort half of the
+	// old serial step boundary runs in parallel; it may be called
+	// concurrently for distinct slots (concurrent calls for the same slot
+	// are safe but pointless). Calling it is an optimisation, not an
+	// obligation — EndStep seals whatever was left unsealed.
+	SealSlot(slot int)
+	// EndStep merges the sealed per-slot runs into one sorted,
+	// deduplicated flush and bulk-loads it into the Delta tree.
 	EndStep()
 	// Err returns the first failure recorded by a rule, or nil.
 	Err() error
@@ -313,6 +322,12 @@ func (e *forkJoin) Drain(h Host) error {
 					hi = len(live)
 				}
 				h.FireBatch(live[lo:hi], slot)
+			})
+			// Seal phase: sort every slot's put run across the pool, so
+			// the flush arrives at EndStep pre-sorted and the coordinator
+			// only merges. Empty slots seal for the cost of a lock.
+			e.pool.ForWorker(e.pool.Size()+1, 1, func(_, s int) {
+				h.SealSlot(s)
 			})
 		}
 		h.EndStep()

@@ -8,11 +8,14 @@ import (
 )
 
 // pipeEvent is one ring slot: a ring segment (contiguous chunk) of the
-// step's live batch to fire, or the stop sentinel. Slots are recycled in
-// place across ring revolutions (the Disruptor's no-garbage property).
+// step's live batch to fire, a seal marker telling its consumer to sort
+// and hand off the consumer's own put run, or the stop sentinel. Slots are
+// recycled in place across ring revolutions (the Disruptor's no-garbage
+// property).
 type pipeEvent struct {
 	ts   []*tuple.Tuple
 	host Host
+	seal bool
 	stop bool
 }
 
@@ -84,7 +87,14 @@ func (e *pipelined) start() {
 					return false
 				}
 				if seq%int64(e.consumers) == idx {
-					ev.host.FireBatch(ev.ts, slot)
+					if ev.seal {
+						// A consumer processes its sequences in order, so
+						// by its seal event all its fire segments for the
+						// step are done and its slot is stable.
+						ev.host.SealSlot(slot)
+					} else {
+						ev.host.FireBatch(ev.ts, slot)
+					}
 				}
 				return true
 			})
@@ -114,9 +124,18 @@ func (e *pipelined) Drain(h Host) error {
 		} else {
 			fireChunks(live, grain, func(chunk []*tuple.Tuple, _ int) {
 				e.prod.Publish(func(ev *pipeEvent) {
-					ev.ts, ev.host, ev.stop = chunk, h, false
+					ev.ts, ev.host, ev.seal, ev.stop = chunk, h, false, false
 				})
 			})
+			// Seal round: one marker per consumer. The markers' sequences
+			// cover every residue class mod the crew size, so each
+			// consumer sees exactly one — after all its fire segments —
+			// and sorts its own put run in parallel with its peers.
+			for i := 0; i < e.consumers; i++ {
+				e.prod.Publish(func(ev *pipeEvent) {
+					ev.ts, ev.host, ev.seal, ev.stop = nil, h, true, false
+				})
+			}
 			e.ring.WaitConsumed(e.ring.Cursor())
 		}
 		h.EndStep()
@@ -130,6 +149,6 @@ func (e *pipelined) Close() {
 		return
 	}
 	e.closed = true
-	e.prod.Publish(func(ev *pipeEvent) { ev.ts, ev.host, ev.stop = nil, nil, true })
+	e.prod.Publish(func(ev *pipeEvent) { ev.ts, ev.host, ev.seal, ev.stop = nil, nil, false, true })
 	e.wg.Wait()
 }

@@ -13,6 +13,7 @@ package order
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/jstar-lang/jstar/internal/tuple"
 )
@@ -20,7 +21,14 @@ import (
 // PartialOrder records `order A < B` declarations over literal names and
 // assigns each name a total rank consistent with the partial order
 // (a deterministic topological linearisation).
+//
+// All methods are safe for concurrent use: Rank memoises lazily (first call
+// after a mutation recomputes the linearisation), and it is reached
+// concurrently from the Delta tree — concurrent Tree.Put and the sharded
+// PutPart bulk load both resolve lit ranks mid-descent — so the memo state
+// is guarded by an RWMutex with the settled read path taking only RLock.
 type PartialOrder struct {
+	mu    sync.RWMutex
 	names map[string]int  // name -> node index
 	list  []string        // node index -> name
 	less  map[[2]int]bool // transitive closure: less[{a,b}] => a < b
@@ -46,6 +54,8 @@ func (p *PartialOrder) Declare(chain ...string) error {
 	if len(chain) < 2 {
 		return fmt.Errorf("jstar: order declaration needs at least two names")
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for i := 0; i+1 < len(chain); i++ {
 		if err := p.addEdge(chain[i], chain[i+1]); err != nil {
 			return err
@@ -59,6 +69,8 @@ func (p *PartialOrder) Declare(chain ...string) error {
 // participates in rank assignment (tables whose orderby literal is never
 // mentioned in an order declaration).
 func (p *PartialOrder) Touch(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.node(name)
 	p.dirty = true
 }
@@ -110,6 +122,8 @@ func (p *PartialOrder) addEdge(a, b string) error {
 
 // Less reports whether a < b in the declared partial order.
 func (p *PartialOrder) Less(a, b string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	ai, aok := p.names[a]
 	bi, bok := p.names[b]
 	if !aok || !bok {
@@ -128,12 +142,22 @@ func (p *PartialOrder) Comparable(a, b string) bool {
 // deterministic topological sort: ties broken alphabetically, so program
 // output is independent of declaration order.
 func (p *PartialOrder) Rank(name string) int {
+	p.mu.RLock()
+	if !p.dirty {
+		if r, ok := p.ranks[name]; ok {
+			p.mu.RUnlock()
+			return r
+		}
+	}
+	p.mu.RUnlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.dirty {
 		p.recompute()
 	}
 	r, ok := p.ranks[name]
 	if !ok {
-		p.Touch(name)
+		p.node(name)
 		p.recompute()
 		r = p.ranks[name]
 	}
@@ -182,6 +206,8 @@ func (p *PartialOrder) recompute() {
 
 // Names returns all registered literal names, sorted by rank.
 func (p *PartialOrder) Names() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.dirty {
 		p.recompute()
 	}

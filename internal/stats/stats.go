@@ -175,5 +175,20 @@ func TableReport(run *core.Run) string {
 	}
 	fmt.Fprintf(&b, "steps=%d maxBatch=%d fired=%d elapsed=%v\n",
 		st.Steps, st.MaxBatch, st.TotalFired, st.Elapsed.Round(time.Microsecond))
+	b.WriteString(PhaseLine(st))
 	return b.String()
+}
+
+// PhaseLine renders the per-phase step breakdown of a run — the §6.3-style
+// fire/insert/merge/delta split, plus the serial-boundary fraction that
+// Amdahl-caps parallel speedup. Empty when the run recorded no phases
+// (e.g. a run that never stepped).
+func PhaseLine(st *core.RunStats) string {
+	if st.BoundaryNanos()+st.FireNanos == 0 {
+		return ""
+	}
+	d := func(ns int64) time.Duration { return time.Duration(ns).Round(time.Microsecond) }
+	return fmt.Sprintf("phases: fire=%v insert=%v merge=%v delta=%v boundary=%.1f%%\n",
+		d(st.FireNanos), d(st.InsertNanos), d(st.MergeNanos), d(st.DeltaNanos),
+		100*st.SerialBoundaryFraction())
 }

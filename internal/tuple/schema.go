@@ -67,6 +67,7 @@ type Schema struct {
 	index   map[string]int // column name -> position
 	keyCols []int          // positions of primary-key columns
 	obCols  []int          // column position per orderby entry, -1 for literals
+	pathCol int            // first seq/par orderby column, -1 if all literals
 	id      int32          // dense id assigned by the registry (engine)
 }
 
@@ -99,6 +100,7 @@ func NewSchema(name string, cols []Column, orderBy []OrderEntry) (*Schema, error
 		}
 	}
 	s.obCols = make([]int, len(s.OrderBy))
+	s.pathCol = -1
 	for i, e := range s.OrderBy {
 		switch e.Kind {
 		case OrderLit:
@@ -112,10 +114,19 @@ func NewSchema(name string, cols []Column, orderBy []OrderEntry) (*Schema, error
 				return nil, fmt.Errorf("jstar: table %s: orderby references unknown column %q", name, e.Field)
 			}
 			s.obCols[i] = pos
+			if s.pathCol < 0 {
+				s.pathCol = pos
+			}
 		}
 	}
 	return s, nil
 }
+
+// PathColumn returns the column position of the first seq/par orderby
+// entry — the most significant data-dependent component of the table's
+// Delta-tree path — or -1 when the orderby list is all literals. It keys
+// the precomputed path sort key tuples carry for the step-boundary flush.
+func (s *Schema) PathColumn() int { return s.pathCol }
 
 // MustSchema is NewSchema that panics on error; for package-level tables.
 func MustSchema(name string, cols []Column, orderBy []OrderEntry) *Schema {
@@ -147,7 +158,9 @@ func (s *Schema) HasPrimaryKey() bool { return len(s.keyCols) > 0 }
 // if that entry is a literal.
 func (s *Schema) OrderByColumn(i int) int { return s.obCols[i] }
 
-// SetID assigns the dense registry id; called once by the engine.
+// SetID assigns the dense registry id; called once by the engine, at table
+// declaration time — before any tuple of the schema exists, since tuples
+// bake the id into their precomputed sort keys.
 func (s *Schema) SetID(id int32) { s.id = id }
 
 // ID returns the dense registry id (0 until registered).

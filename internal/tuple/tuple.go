@@ -12,6 +12,14 @@ type Tuple struct {
 	schema *Schema
 	fields []Value
 	hash   uint64 // precomputed identity hash over schema name + fields
+	// key and pathKey are precomputed 64-bit sort keys (schema ID in the
+	// high half, an order-preserving 32-bit prefix of one field in the low
+	// half) that let the engine's hot-path sorts resolve most comparisons
+	// with one integer compare. key prefixes the step order (schema, then
+	// fields); pathKey prefixes the Delta-tree path order (schema, then the
+	// first seq/par orderby column). Key ties fall back to full comparisons.
+	key     uint64
+	pathKey uint64
 }
 
 // New constructs a tuple with positional field values. It panics if the
@@ -40,7 +48,25 @@ func New(s *Schema, fields ...Value) *Tuple {
 	}
 	t := &Tuple{schema: s, fields: fs}
 	t.hash = t.computeHash()
+	t.computeKeys()
 	return t
+}
+
+// computeKeys fills the precomputed sort keys from the (already
+// normalised) fields. The schema half uses the dense registry ID, which is
+// assigned at Program.Table time — before any tuple of the table exists.
+func (t *Tuple) computeKeys() {
+	hi := uint64(uint32(t.schema.id)) << 32
+	if len(t.fields) > 0 {
+		t.key = hi | uint64(fieldKey32(t.fields[0]))
+	} else {
+		t.key = hi
+	}
+	if c := t.schema.pathCol; c >= 0 {
+		t.pathKey = hi | uint64(fieldKey32(t.fields[c]))
+	} else {
+		t.pathKey = hi
+	}
 }
 
 func (t *Tuple) computeHash() uint64 {
@@ -115,6 +141,95 @@ func (t *Tuple) CompareFields(o *Tuple) int {
 		}
 	}
 	return len(t.fields) - len(o.fields)
+}
+
+// CompareSchemaFields is the engine's step order: schema identity (dense
+// ID, then name as a tiebreak for unregistered schemas), then all fields
+// left to right. It is the order BeginStep sorts each extracted batch into
+// — schema-clustered for grouped Gamma inserts, field-ordered within a
+// schema so sequential firing order is deterministic. The precomputed key
+// resolves most comparisons with one integer compare.
+func CompareSchemaFields(a, b *Tuple) int {
+	if a.key != b.key {
+		if a.key < b.key {
+			return -1
+		}
+		return 1
+	}
+	if a.schema != b.schema {
+		if c := compareSchemas(a.schema, b.schema); c != 0 {
+			return c
+		}
+	}
+	return a.CompareFields(b)
+}
+
+// ComparePath is the engine's flush order: schema identity, then the
+// seq/par orderby columns in declaration order, then the precomputed
+// identity hash, then all fields. It refines the Delta tree's path
+// grouping to a total order, so a flush sorted by it descends the tree
+// with maximal spine reuse, and two tuples comparing equal are exactly
+// the set-semantics duplicates (same schema, same fields) that merge-time
+// dedup may drop. The hash stage is the cheap discriminator: once the
+// path components tie (always, for all-literal orderby lists), one
+// integer compare separates almost every non-duplicate pair, so the full
+// field walk runs only for true duplicates and hash collisions.
+func ComparePath(a, b *Tuple) int {
+	if a.pathKey != b.pathKey {
+		if a.pathKey < b.pathKey {
+			return -1
+		}
+		return 1
+	}
+	sa, sb := a.schema, b.schema
+	if sa != sb {
+		if c := compareSchemas(sa, sb); c != 0 {
+			return c
+		}
+		// Distinct schema objects that tie on ID and name (tuples from
+		// unrelated Programs mixed in one sort): field order only — the
+		// orderby lists may disagree structurally.
+		return a.CompareFields(b)
+	}
+	if sa != nil {
+		for i, e := range sa.OrderBy {
+			if e.Kind == OrderLit {
+				continue // constant across the schema's tuples
+			}
+			col := sa.obCols[i]
+			if c := Compare(a.fields[col], b.fields[col]); c != 0 {
+				return c
+			}
+		}
+	}
+	if a.hash != b.hash {
+		if a.hash < b.hash {
+			return -1
+		}
+		return 1
+	}
+	return a.CompareFields(b)
+}
+
+// compareSchemas orders distinct schemas by dense ID, then name — a
+// deterministic tiebreak for schemas never registered with a Program.
+func compareSchemas(a, b *Schema) int {
+	if a == nil || b == nil {
+		if a == b {
+			return 0
+		}
+		if a == nil {
+			return -1
+		}
+		return 1
+	}
+	if a.id != b.id {
+		if a.id < b.id {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.Name, b.Name)
 }
 
 // NewRaw builds a schema-less probe tuple holding just the given fields.

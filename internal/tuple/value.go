@@ -217,6 +217,53 @@ func (v Value) Hash(h uint64) uint64 {
 	return h
 }
 
+// fieldKey32 encodes v as an order-preserving (but non-injective) 32-bit
+// prefix: for values of one kind, fieldKey32(a) < fieldKey32(b) implies
+// Compare(a, b) < 0, so a 64-bit sort key can resolve most comparisons
+// without touching the Value — key ties fall back to the full comparator.
+// Columns have a fixed kind, so cross-kind consistency is not required.
+func fieldKey32(v Value) uint32 {
+	switch v.kind {
+	case KindInt:
+		// Exact biased encoding for the common 32-bit range; out-of-range
+		// values clamp (clamped neighbours tie and fall back).
+		const lo = -1 << 31
+		if v.i < lo {
+			return 0
+		}
+		if v.i > 1<<31-1 {
+			return ^uint32(0)
+		}
+		return uint32(v.i - lo)
+	case KindBool:
+		return uint32(v.i)
+	case KindFloat:
+		if math.IsNaN(v.f) {
+			return 0 // NaN sorts before all other floats (Compare's rule)
+		}
+		if v.f == 0 {
+			v.f = 0 // normalise -0.0: Compare treats the zeros as equal
+		}
+		bits := math.Float64bits(v.f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negative: flip all so magnitude order reverses
+		} else {
+			bits |= 1 << 63 // positive: set sign so it sorts after negatives
+		}
+		return uint32(bits >> 32)
+	case KindString:
+		var k uint32
+		for i := 0; i < 4; i++ {
+			k <<= 8
+			if i < len(v.s) {
+				k |= uint32(v.s[i])
+			}
+		}
+		return k
+	}
+	return 0 // invalid sorts before every valid value
+}
+
 const (
 	fnvOffset = 1469598103934665603
 	fnvPrime  = 1099511628211

@@ -84,11 +84,17 @@
 //
 // All strategies share the batched put protocol: a rule firing appends new
 // tuples to a per-worker put buffer instead of locking the global Delta
-// tree, and the coordinator flushes every buffer as one sorted batch at
-// the step boundary (Tree.PutBatch, gamma batch inserts). Batching does
-// not change program semantics — tuples put during step k become visible
-// to extraction exactly at the k/k+1 boundary, as before — it only removes
-// per-put lock traffic from the hot path.
+// tree. At the step boundary each worker seals its buffer — sorts it by
+// the Delta-path order and hands it off as one pre-sorted run — and the
+// coordinator k-way merges the runs (dropping set-semantics duplicates
+// during the merge) straight into the Delta tree, sharding the bulk load
+// and the per-table Gamma inserts across the pool where tables cannot
+// alias. Batching does not change program semantics — tuples put during
+// step k become visible to extraction exactly at the k/k+1 boundary, as
+// before — it only removes per-put lock traffic and the serial
+// concat-and-re-sort from the hot path. Options.PhaseStats records where
+// each step's time goes (RunStats.FireNanos/InsertNanos/MergeNanos/
+// DeltaNanos and the Amdahl serial-boundary fraction).
 //
 // Dispatch is batch-first too: each strategy partitions a step's live
 // batch into contiguous chunks (grain-sized chunks on the fork/join pool,
