@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/jstar-lang/jstar/internal/apps/matmult"
@@ -63,13 +64,19 @@ func main() {
 		"execution strategy for parallel sweeps: "+strings.Join(exec.StrategyNames(), "|"))
 	maxThreads := flag.Int("max-threads", 2*runtime.NumCPU(), "largest pool size in sweeps")
 	smoke := flag.Bool("smoke", false, "quick CI smoke run; with -json it writes the perf-trajectory artifact")
+	speedup := flag.Bool("speedup", false,
+		"run the multi-core speedup sweep (apps + dispatch/step-boundary microbenches across a GOMAXPROCS sweep); with -json the per-point rows join the artifact")
+	procsFlag := flag.String("procs", "1,2,4,8",
+		"comma-separated GOMAXPROCS values for the -speedup sweep")
+	minDispatchSpeedup := flag.Float64("min-dispatch-speedup", 0,
+		"with -speedup: exit 1 if the parallel dispatch microbench at 4 procs (or the largest swept) is below this multiple of the sequential baseline (0 disables; CI's scaling gate)")
 	jsonPath := flag.String("json", "", "write smoke results as JSON (strategy, GOMAXPROCS, batch-size histogram) to this file")
 	savePlan := flag.String("save-plan", "",
-		"run the store-plan tuning pass (pvwatts, matmult, shortestpath) and write the suggested per-app plans as JSON")
+		"run the store-plan tuning pass (pvwatts, matmult, shortestpath, median) and write the suggested per-app plans as JSON")
 	storePlan := flag.String("store-plan", "",
 		"apply a -save-plan JSON file to the tuning pass (the replay half of the two-run tuning loop)")
 	phases := flag.Bool("phases", false,
-		"print the per-phase step breakdown (fire/insert/merge/delta + serial-boundary fraction) for the three apps")
+		"print the per-phase step breakdown (fire/insert/merge/delta + serial-boundary fraction) for the four apps")
 	maxBoundaryFrac := flag.Float64("max-boundary-frac", 0,
 		"with -smoke: exit 1 if any app run's serial-boundary fraction exceeds this (0 disables; CI's regression gate)")
 	flag.Parse()
@@ -147,9 +154,43 @@ func main() {
 		ran = true
 		phasesTable(cfg)
 	}
+	// The smoke pass and the speedup sweep fill one shared artifact, so a
+	// CI job running both uploads a single schema-4 BENCH file.
+	var art *smokeArtifact
+	ensureArt := func() {
+		if art == nil {
+			art = newArtifact(cfg)
+		}
+	}
+	var gateFailures []string
 	if *smoke {
 		ran = true
-		smokeRun(cfg, *jsonPath, *maxBoundaryFrac)
+		ensureArt()
+		gateFailures = append(gateFailures, smokeRun(cfg, art, *maxBoundaryFrac)...)
+	}
+	if *speedup {
+		ran = true
+		ensureArt()
+		procs, err := parseProcs(*procsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		gateFailures = append(gateFailures, speedupSweep(cfg, art, procs, *minDispatchSpeedup)...)
+	}
+	if art != nil && *jsonPath != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		must(err)
+		must(os.WriteFile(*jsonPath, append(data, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	// Gates fire after the artifact is written: a failed gate still leaves
+	// the measurements on disk for the trajectory.
+	for _, f := range gateFailures {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(gateFailures) > 0 {
+		os.Exit(1)
 	}
 	if *savePlan != "" || *storePlan != "" {
 		ran = true
@@ -159,6 +200,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// parseProcs parses the -procs list ("1,2,4,8") into GOMAXPROCS values.
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("jstar-bench: -procs %q: %q is not a positive integer", s, part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // timeIt returns the minimum elapsed time of cfg.repeats runs of fn.
@@ -546,6 +600,26 @@ type boundaryRow struct {
 	BoundaryFrac float64 `json:"boundary_frac"`
 }
 
+// speedupRow is one point of the -speedup GOMAXPROCS sweep (schema 4):
+// one workload at one processor count under one strategy, with its speedup
+// over the workload's sequential single-proc baseline.
+type speedupRow struct {
+	Name       string `json:"name"`
+	Strategy   string `json:"strategy"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+	Threads    int    `json:"threads"`
+	ElapsedNs  int64  `json:"elapsed_ns"` // min over repeats
+	// Speedup is sequential-baseline time / this time (1.0 for the
+	// baseline row itself).
+	Speedup float64 `json:"speedup"`
+}
+
+// benchSchema is the BENCH_*.json artifact version. History:
+// 1 app runs + batch histograms; 2 per-table planner rows; 3 per-phase
+// step breakdown + step-boundary microbench sweep; 4 multi-core speedup
+// rows (the -speedup GOMAXPROCS sweep).
+const benchSchema = 4
+
 // smokeArtifact is the BENCH_*.json schema CI uploads per run, so the
 // perf trajectory (and the batch-size distributions feeding store
 // auto-tuning) accumulates across commits.
@@ -559,23 +633,30 @@ type smokeArtifact struct {
 	Runs       []smokeResult `json:"runs"`
 	// StepBoundary is the boundary microbench sweep (schema 3).
 	StepBoundary []boundaryRow `json:"step_boundary"`
+	// Speedup is the multi-core sweep (schema 4; -speedup only).
+	Speedup []speedupRow `json:"speedup,omitempty"`
 }
 
-// smokeRun measures small fixed workloads under the configured strategy and
-// (with -json) writes the machine-readable artifact. Counters come from the
-// minimum-elapsed run, so ns_per_firing matches elapsed_ns. A non-zero
-// maxBoundaryFrac is the CI regression gate: if any app run spends a larger
-// fraction of its step loop inside the serial step boundary, exit 1.
-func smokeRun(cfg config, jsonPath string, maxBoundaryFrac float64) {
-	fmt.Println("== Benchmark smoke (CI artifact) ==")
-	art := smokeArtifact{
-		Schema:     3,
+// newArtifact stamps an empty artifact with the host and run configuration.
+func newArtifact(cfg config) *smokeArtifact {
+	return &smokeArtifact{
+		Schema:     benchSchema,
 		Strategy:   cfg.strategy.String(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
 		Repeats:    cfg.repeats,
 	}
+}
+
+// smokeRun measures small fixed workloads under the configured strategy,
+// filling art's runs and boundary sweep. Counters come from the
+// minimum-elapsed run, so ns_per_firing matches elapsed_ns. A non-zero
+// maxBoundaryFrac is the CI regression gate: if any app run spends a larger
+// fraction of its step loop inside the serial step boundary, the returned
+// failures make main exit 1 (after the artifact is written).
+func smokeRun(cfg config, art *smokeArtifact, maxBoundaryFrac float64) []string {
+	fmt.Println("== Benchmark smoke (CI artifact) ==")
 	threads := runtime.NumCPU()
 	csv := pvwatts.GenerateCSV(1, false, 42)
 	// measure times one workload cfg.repeats times, keeps the fastest
@@ -628,6 +709,13 @@ func smokeRun(cfg config, jsonPath string, maxBoundaryFrac float64) {
 		must(err)
 		return r.Run.Stats(), time.Since(start)
 	})
+	measure("median", 0, func() (*core.RunStats, time.Duration) {
+		start := time.Now()
+		r, err := median.RunJStar(median.RunOpts{
+			N: 100_000, Regions: 24, Strategy: cfg.strategy, Threads: threads, Seed: 42, PhaseStats: true})
+		must(err)
+		return r.Run.Stats(), time.Since(start)
+	})
 	measure("pvwatts", 0, func() (*core.RunStats, time.Duration) {
 		// Without -noDelta so the readings flow through the Delta set and the
 		// batched dispatch path (with -noDelta they fire inline per §5.1).
@@ -667,24 +755,21 @@ func smokeRun(cfg config, jsonPath string, maxBoundaryFrac float64) {
 		return sess.Stats(), d
 	})
 	art.StepBoundary = stepBoundarySweep(cfg)
-	if jsonPath != "" {
-		data, err := json.MarshalIndent(art, "", "  ")
-		must(err)
-		must(os.WriteFile(jsonPath, append(data, '\n'), 0o644))
-		fmt.Printf("wrote %s\n", jsonPath)
-	}
+	var failures []string
 	if maxBoundaryFrac > 0 {
 		for _, r := range art.Runs {
 			if r.BoundaryFrac > maxBoundaryFrac {
-				fmt.Fprintf(os.Stderr,
-					"jstar-bench: %s serial-boundary fraction %.1f%% exceeds the -max-boundary-frac gate (%.1f%%)\n",
-					r.Name, 100*r.BoundaryFrac, 100*maxBoundaryFrac)
-				os.Exit(1)
+				failures = append(failures, fmt.Sprintf(
+					"jstar-bench: %s serial-boundary fraction %.1f%% exceeds the -max-boundary-frac gate (%.1f%%)",
+					r.Name, 100*r.BoundaryFrac, 100*maxBoundaryFrac))
 			}
 		}
-		fmt.Printf("boundary gate: all runs within %.0f%%\n", 100*maxBoundaryFrac)
+		if len(failures) == 0 {
+			fmt.Printf("boundary gate: all runs within %.0f%%\n", 100*maxBoundaryFrac)
+		}
 	}
 	fmt.Println()
+	return failures
 }
 
 // boundaryProgram builds the step-boundary microbench program: one Src
@@ -708,6 +793,156 @@ func boundaryProgram(batch int) *core.Program {
 	})
 	p.Put(tuple.New(src, tuple.Int(int64(batch))))
 	return p
+}
+
+// dispatchProgram builds the dispatch microbench program (the cmd twin of
+// BenchmarkDispatch_PerFiring): one Src tuple fans out `batch` Work tuples
+// whose rule bodies do nothing but a counter add, so the measured time is
+// rule lookup, Ctx setup and scheduling hand-off — the per-firing dispatch
+// cost the parallel strategies must amortise to scale.
+func dispatchProgram(batch int, sink *atomic.Int64) *core.Program {
+	p := core.NewProgram()
+	icol := func(n string) []tuple.Column { return []tuple.Column{{Name: n, Kind: tuple.KindInt}} }
+	src := p.Table("Src", icol("n"), []tuple.OrderEntry{tuple.Lit("Src")})
+	work := p.Table("Work", icol("i"), []tuple.OrderEntry{tuple.Lit("Work")})
+	p.Order("Src", "Work")
+	p.Rule("fanout", src, func(c *core.Ctx, t *tuple.Tuple) {
+		for j := int64(0); j < t.Int("n"); j++ {
+			c.PutNew(work, tuple.Int(j))
+		}
+	})
+	p.Rule("noop", work, func(c *core.Ctx, t *tuple.Tuple) {
+		sink.Add(t.Int("i"))
+	})
+	p.Put(tuple.New(src, tuple.Int(int64(batch))))
+	return p
+}
+
+// speedupSweep is the -speedup mode: the four paper apps plus the
+// dispatch and step-boundary microbenches, each run sequentially once
+// (the baseline) and then under the parallel strategy across the -procs
+// GOMAXPROCS values, with per-point speedup-vs-serial emitted as schema-4
+// artifact rows. A non-zero minDispatch is the CI scaling gate: the
+// parallel dispatch microbench at 4 procs (or the largest swept value)
+// must reach that multiple of the sequential baseline.
+func speedupSweep(cfg config, art *smokeArtifact, procs []int, minDispatch float64) []string {
+	strat := cfg.strategy
+	if strat == exec.Auto {
+		strat = exec.ForkJoin
+	}
+	fmt.Printf("== Multi-core speedup sweep (strategy=%s, procs=%v) ==\n", strat, procs)
+	fmt.Printf("%-14s %-12s %6s %12s %10s\n", "workload", "strategy", "procs", "time", "speedup")
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
+
+	csv := pvwatts.GenerateCSV(cfg.pvYears, false, 42)
+	gen := shortestpath.GenOpts{Vertices: cfg.spVertices, Extra: cfg.spExtra, Tasks: 24, Seed: 42}
+	// The microbench programs are too short to time once; iterate inside
+	// one measurement so a sweep point is tens of milliseconds.
+	const dispatchBatch = 4096
+	const dispatchIters = 30
+	const boundaryBatch = 1 << 13
+	const boundaryIters = 5
+	var sink atomic.Int64
+	workloads := []struct {
+		name string
+		run  func(seq bool, threads int)
+	}{
+		{"pvwatts", func(seq bool, th int) {
+			_, err := pvwatts.RunJStar(csv, pvwatts.RunOpts{
+				Sequential: seq, Strategy: pick(seq, strat), Threads: th, NoDelta: true})
+			must(err)
+		}},
+		{"matmult", func(seq bool, th int) {
+			_, err := matmult.RunJStar(matmult.RunOpts{
+				N: cfg.matN, Sequential: seq, Strategy: pick(seq, strat), Threads: th, Seed: 42})
+			must(err)
+		}},
+		{"shortestpath", func(seq bool, th int) {
+			_, err := shortestpath.RunJStar(shortestpath.RunOpts{
+				Gen: gen, Sequential: seq, Strategy: pick(seq, strat), Threads: th})
+			must(err)
+		}},
+		{"median", func(seq bool, th int) {
+			_, err := median.RunJStar(median.RunOpts{
+				N: cfg.medianN, Regions: 24, Sequential: seq, Strategy: pick(seq, strat),
+				Threads: th, Seed: 42})
+			must(err)
+		}},
+		{"dispatch", func(seq bool, th int) {
+			for i := 0; i < dispatchIters; i++ {
+				_, err := dispatchProgram(dispatchBatch, &sink).Execute(core.Options{
+					Sequential: seq, Strategy: pick(seq, strat), Threads: th, Quiet: true})
+				must(err)
+			}
+		}},
+		{"step-boundary", func(seq bool, th int) {
+			for i := 0; i < boundaryIters; i++ {
+				_, err := boundaryProgram(boundaryBatch).Execute(core.Options{
+					Sequential: seq, Strategy: pick(seq, strat), Threads: th, Quiet: true})
+				must(err)
+			}
+		}},
+	}
+	point := func(name, strategy string, nproc, threads int, d time.Duration, base time.Duration) {
+		art.Speedup = append(art.Speedup, speedupRow{
+			Name: name, Strategy: strategy, Gomaxprocs: nproc, Threads: threads,
+			ElapsedNs: d.Nanoseconds(), Speedup: float64(base) / float64(d),
+		})
+		fmt.Printf("%-14s %-12s %6d %12v %9.2fx\n",
+			name, strategy, nproc, d.Round(time.Microsecond), float64(base)/float64(d))
+	}
+	for _, w := range workloads {
+		w := w
+		runtime.GOMAXPROCS(1)
+		base := timeIt(cfg.repeats, func() { w.run(true, 1) })
+		point(w.name, "sequential", 1, 1, base, base)
+		for _, np := range procs {
+			np := np
+			runtime.GOMAXPROCS(np)
+			d := timeIt(cfg.repeats, func() { w.run(false, np) })
+			point(w.name, strat.String(), np, np, d, base)
+		}
+	}
+	runtime.GOMAXPROCS(origProcs)
+	fmt.Println()
+
+	var failures []string
+	if minDispatch > 0 {
+		gate := speedupRow{}
+		for _, r := range art.Speedup {
+			if r.Name != "dispatch" || r.Strategy == "sequential" {
+				continue
+			}
+			// Prefer the 4-proc point (the CI gate's contract); otherwise
+			// keep the largest swept value.
+			if r.Gomaxprocs == 4 || (gate.Gomaxprocs != 4 && r.Gomaxprocs > gate.Gomaxprocs) {
+				gate = r
+			}
+		}
+		switch {
+		case gate.Name == "":
+			failures = append(failures, "jstar-bench: -min-dispatch-speedup set but the sweep produced no parallel dispatch rows")
+		case gate.Speedup < minDispatch:
+			failures = append(failures, fmt.Sprintf(
+				"jstar-bench: dispatch %s at %d procs is %.2fx sequential, below the -min-dispatch-speedup gate (%.2fx)",
+				gate.Strategy, gate.Gomaxprocs, gate.Speedup, minDispatch))
+		default:
+			fmt.Printf("dispatch gate: %s at %d procs = %.2fx sequential (>= %.2fx)\n\n",
+				gate.Strategy, gate.Gomaxprocs, gate.Speedup, minDispatch)
+		}
+	}
+	return failures
+}
+
+// pick resolves the sweep strategy for one point: Auto (the zero value,
+// letting the Sequential flag rule) for baseline runs, the configured
+// parallel strategy otherwise.
+func pick(seq bool, strat exec.Strategy) exec.Strategy {
+	if seq {
+		return exec.Auto
+	}
+	return strat
 }
 
 // stepBoundarySweep runs the boundary microbench over slot counts and
@@ -787,6 +1022,13 @@ func phasesTable(cfg config) {
 		{"shortestpath", func() *core.RunStats {
 			res, err := shortestpath.RunJStar(shortestpath.RunOpts{
 				Gen: gen, Strategy: cfg.strategy, Threads: threads, PhaseStats: true})
+			must(err)
+			return res.Run.Stats()
+		}},
+		{"median", func() *core.RunStats {
+			res, err := median.RunJStar(median.RunOpts{
+				N: cfg.medianN, Regions: 24, Strategy: cfg.strategy, Threads: threads,
+				Seed: 42, PhaseStats: true})
 			must(err)
 			return res.Run.Stats()
 		}},
@@ -906,6 +1148,13 @@ func tunePass(cfg config, loadPath, savePath string) {
 		{"shortestpath", func(plan gamma.StorePlan) *core.RunStats {
 			res, err := shortestpath.RunJStar(shortestpath.RunOpts{
 				Gen: gen, Strategy: cfg.strategy, Threads: threads, StorePlan: plan})
+			must(err)
+			return res.Run.Stats()
+		}},
+		{"median", func(plan gamma.StorePlan) *core.RunStats {
+			res, err := median.RunJStar(median.RunOpts{
+				N: cfg.medianN, Regions: 24, Strategy: cfg.strategy, Threads: threads,
+				StorePlan: plan, Seed: 42})
 			must(err)
 			return res.Run.Stats()
 		}},

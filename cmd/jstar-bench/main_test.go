@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestArtifactSchemaVersion pins the BENCH artifact version: bump
+// benchSchema (and this test) whenever a field is added, so downstream
+// trajectory tooling can dispatch on it.
+func TestArtifactSchemaVersion(t *testing.T) {
+	if benchSchema != 4 {
+		t.Fatalf("benchSchema = %d, want 4 (update the schema history comment and this pin together)", benchSchema)
+	}
+	if got := newArtifact(config{repeats: 3}).Schema; got != benchSchema {
+		t.Fatalf("newArtifact schema = %d, want %d", got, benchSchema)
+	}
+}
+
+// TestArtifactSchema3Compat: a schema-3 BENCH file (no speedup rows) must
+// still unmarshal into the current artifact struct — the fields through
+// schema 3 are append-only, and the schema-4 Speedup field stays empty.
+func TestArtifactSchema3Compat(t *testing.T) {
+	const schema3 = `{
+  "schema": 3,
+  "strategy": "auto",
+  "gomaxprocs": 4,
+  "numcpu": 4,
+  "go_version": "go1.22.0",
+  "repeats": 5,
+  "runs": [
+    {
+      "name": "matmult",
+      "threads": 4,
+      "elapsed_ns": 12345678,
+      "steps": 3,
+      "total_fired": 9216,
+      "fire_batches": 12,
+      "mean_fire_chunk": 768.0,
+      "ns_per_firing": 1339.5,
+      "batch_hist": {"512-1023": 12},
+      "fire_ns": 9000000,
+      "insert_ns": 2000000,
+      "merge_ns": 800000,
+      "delta_ns": 500000,
+      "boundary_frac": 0.27,
+      "tables": [
+        {"table": "Matrix", "kind": "dense3d:3,96,96", "puts": 18432, "dups": 0, "queries": 884736}
+      ]
+    }
+  ],
+  "step_boundary": [
+    {"threads": 1, "batch": 1024, "elapsed_ns": 1000000, "ns_per_tuple": 488.0,
+     "fire_ns": 300000, "insert_ns": 300000, "merge_ns": 200000, "delta_ns": 200000,
+     "boundary_frac": 0.7}
+  ]
+}`
+	var art smokeArtifact
+	if err := json.Unmarshal([]byte(schema3), &art); err != nil {
+		t.Fatalf("schema-3 artifact no longer parses: %v", err)
+	}
+	if art.Schema != 3 || len(art.Runs) != 1 || art.Runs[0].Name != "matmult" {
+		t.Fatalf("schema-3 fields misparsed: %+v", art)
+	}
+	if art.Runs[0].BoundaryFrac != 0.27 || len(art.StepBoundary) != 1 {
+		t.Fatalf("schema-3 phase fields misparsed: %+v", art)
+	}
+	if len(art.Speedup) != 0 {
+		t.Fatalf("schema-3 artifact grew speedup rows: %+v", art.Speedup)
+	}
+}
+
+// TestParseProcs covers the -procs flag parser.
+func TestParseProcs(t *testing.T) {
+	got, err := parseProcs("1, 2,4")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("parseProcs(\"1, 2,4\") = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "1,x", "-2"} {
+		if _, err := parseProcs(bad); err == nil {
+			t.Errorf("parseProcs(%q) accepted", bad)
+		}
+	}
+}

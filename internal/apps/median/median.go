@@ -40,6 +40,13 @@ type RunOpts struct {
 	Threads    int
 	Seed       uint64
 	MaxSteps   int64 // safety valve for tests (0 = none)
+	// StorePlan replays a profile-guided per-table store plan. The Data
+	// table's RollingFloatArray hint is non-replannable (the rules downcast
+	// the store), so suggested plans omit it and replay safely at any N.
+	StorePlan gamma.StorePlan
+	// PhaseStats records the per-phase step breakdown (jstar-bench -phases
+	// and the speedup sweep set it).
+	PhaseStats bool
 }
 
 // Result carries the found median and run diagnostics.
@@ -255,8 +262,10 @@ func RunJStar(opts RunOpts) (*Result, error) {
 		Strategy:   opts.Strategy,
 		Threads:    opts.Threads,
 		NoDelta:    []string{"Data", "Count"},
+		StorePlan:  opts.StorePlan,
 		Quiet:      true,
 		MaxSteps:   opts.MaxSteps,
+		PhaseStats: opts.PhaseStats,
 	}
 	run, err := p.NewRun(opts2)
 	if err != nil {

@@ -226,12 +226,22 @@ type Options struct {
 	// jstar-bench (-smoke, -phases) and the step-boundary benches turn it
 	// on.
 	PhaseStats bool
-	// IngressRing is the capacity of the Session ingress ring — the
-	// multi-producer Disruptor ring external tuples pass through on their
-	// way into the Delta set. Must be a power of two; 0 means 1024. A full
-	// ring blocks Put callers (backpressure) until the coordinator absorbs
+	// IngressRing is the total capacity of the Session ingress — the
+	// sharded multi-producer Disruptor rings external tuples pass through
+	// on their way into the Delta set; it is divided evenly across the
+	// ingress shards. Must be a power of two; 0 means 1024. A full lane
+	// blocks its Put callers (backpressure) until the coordinator absorbs
 	// a batch, so it bounds how far ingestion can outrun execution.
 	IngressRing int
+	// IngressShards is the number of ingress ring lanes. Concurrent Put
+	// callers spread across lanes by publisher affinity, so they stop
+	// contending on one claim cursor, and the coordinator drains each lane
+	// into its own put-buffer slot — absorbed events arrive at the step
+	// boundary already spread for the parallel seal/merge. Must be a power
+	// of two; 0 picks 1 for sequential runs, else the thread count rounded
+	// up to a power of two (capped at 8). 1 reproduces the old single-ring
+	// ingress exactly.
+	IngressShards int
 	// Pool lets callers share an external fork/join pool across runs
 	// (benchmarks); when nil the run creates and owns one.
 	Pool PoolRef
@@ -257,12 +267,31 @@ func (o *Options) threads() int {
 	return runtime.NumCPU()
 }
 
-// ingressRing resolves the Session ingress ring capacity.
+// ingressRing resolves the total Session ingress capacity.
 func (o *Options) ingressRing() int {
 	if o.IngressRing > 0 {
 		return o.IngressRing
 	}
 	return 1024
+}
+
+// ingressShards resolves the ingress lane count: an explicit value wins;
+// 0 means one lane for single-threaded runs, else the thread count rounded
+// up to a power of two, capped at 8 (past that, lanes outnumber plausible
+// producers and only fragment the capacity).
+func (o *Options) ingressShards() int {
+	if o.IngressShards > 0 {
+		return o.IngressShards
+	}
+	th := o.threads()
+	if th <= 1 {
+		return 1
+	}
+	n := 1
+	for n < th && n < 8 {
+		n <<= 1
+	}
+	return n
 }
 
 // strategy resolves the effective execution strategy — the single funnel
@@ -322,6 +351,9 @@ func (p *Program) Validate(opts Options) error {
 	}
 	if opts.IngressRing < 0 || (opts.IngressRing > 0 && opts.IngressRing&(opts.IngressRing-1) != 0) {
 		errs = append(errs, fmt.Sprintf("IngressRing: %d is not a power of two (0 means 1024)", opts.IngressRing))
+	}
+	if opts.IngressShards < 0 || (opts.IngressShards > 0 && opts.IngressShards&(opts.IngressShards-1) != 0) {
+		errs = append(errs, fmt.Sprintf("IngressShards: %d is not a power of two (0 means auto)", opts.IngressShards))
 	}
 	for _, t := range opts.NoDelta {
 		if _, ok := p.tables[t]; !ok {

@@ -100,6 +100,14 @@ type RunStats struct {
 	MergeNanos  int64
 	DeltaNanos  int64
 
+	// IngressShards is the number of ingress ring lanes the session built
+	// (0 when the run never ingested external tuples); ShardAbsorbed counts
+	// the events absorbed from each lane — together they expose ingestion
+	// skew, the successor of the old everything-lands-in-slot-0 hotspot.
+	// Written only by the coordinator; read them at quiescence.
+	IngressShards int
+	ShardAbsorbed []int64
+
 	// FireBatches counts batched dispatch calls (FireBatch chunks); with
 	// TotalLive it gives the mean chunk size the executor achieved —
 	// the dispatch-amortisation analogue of TotalLive/Steps, and the
@@ -716,7 +724,7 @@ func (r *Run) endStep() {
 	if len(flush) > 0 {
 		loaded := false
 		if r.pool != nil && len(flush) >= shardInsertMin {
-			if parts := r.delta.SplitBulk(flush); len(parts) > 1 {
+			if parts := r.delta.SplitBulkN(flush, r.pool.Size()+1); len(parts) > 1 {
 				r.pool.For(len(parts), 1, func(i int) {
 					r.delta.PutPart(parts[i], r.dupFn)
 				})

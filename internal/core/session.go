@@ -28,11 +28,13 @@ type ingressEvent struct {
 // Session is a long-lived, concurrent-safe handle on a running program —
 // the engine as an online incremental service rather than a one-shot batch
 // evaluator. External tuples enter through Put/PutBatch from any number of
-// goroutines: they are published into a multi-producer Disruptor ingress
-// ring and absorbed into the Delta set by the coordinator at step
-// boundaries, so ingestion overlaps rule execution instead of waiting for
-// quiescence. The only thing that ever blocks a producer is ring
-// backpressure (a full ingress ring; capacity Options.IngressRing).
+// goroutines: they are published into a sharded multi-producer Disruptor
+// ingress (Options.IngressShards lanes, spread by publisher affinity) and
+// absorbed into the Delta set by the coordinator at step boundaries — each
+// lane draining into its own put-buffer slot — so ingestion overlaps rule
+// execution instead of waiting for quiescence. The only thing that ever
+// blocks a producer is ring backpressure (a full ingress lane; total
+// capacity Options.IngressRing).
 //
 // The lifecycle is Start → Put/PutBatch ⇄ Quiesce → Close:
 //
@@ -72,19 +74,16 @@ type Session struct {
 
 	mu        sync.Mutex
 	quiescent bool          // loop is parked with Delta and ring drained
-	consumed  int64         // ingress sequence absorbed at last quiescence
+	consumed  []int64       // per-shard sequence absorbed at last quiescence
 	qGen      chan struct{} // closed and replaced at each quiescence
 	err       error         // first terminal failure
 	closed    bool
 }
 
-// ingress bundles the external-tuple ring with its two endpoints: the
-// shared multi-producer handle Put publishes through, and the coordinator's
-// consumer.
+// ingress wraps the sharded external-tuple rings: publishers spread across
+// lanes by affinity, the coordinator drains each lane separately.
 type ingress struct {
-	ring *disruptor.Ring[ingressEvent]
-	prod *disruptor.MultiProducer[ingressEvent]
-	cons *disruptor.Consumer[ingressEvent]
+	ring *disruptor.ShardedRing[ingressEvent]
 }
 
 // Start validates opts, seeds the program's initial puts and begins
@@ -117,7 +116,6 @@ func (r *Run) startSession(ctx context.Context) (*Session, error) {
 		notify:   make(chan struct{}, 1),
 		closeCh:  make(chan struct{}),
 		loopDone: make(chan struct{}),
-		consumed: -1,
 		qGen:     make(chan struct{}),
 	}
 	go s.loop()
@@ -140,9 +138,19 @@ func (s *Session) initIngress() (*ingress, error) {
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
-	ring := disruptor.NewMultiRing[ingressEvent](s.run.opts.ingressRing(), &disruptor.BlockingWait{})
-	ing := &ingress{ring: ring, cons: ring.NewConsumer()}
-	ing.prod = ring.NewMultiProducer()
+	shards := s.run.opts.ingressShards()
+	size := s.run.opts.ingressRing() / shards
+	if size < 2 {
+		size = 2
+	}
+	ring := disruptor.NewShardedRing[ingressEvent](shards, size,
+		func() disruptor.WaitStrategy { return &disruptor.BlockingWait{} })
+	// Publish the shard accounting before the atomic pointer store: the
+	// coordinator (and any post-quiescence Stats reader) reaches these
+	// fields only after loading the pointer.
+	s.run.stats.IngressShards = shards
+	s.run.stats.ShardAbsorbed = make([]int64, shards)
+	ing := &ingress{ring: ring}
 	s.ing.Store(ing)
 	return ing, nil
 }
@@ -214,7 +222,7 @@ func (s *Session) loop() {
 // been absorbed.
 func (s *Session) pendingIngress() bool {
 	ing := s.ing.Load()
-	return ing != nil && ing.cons.Seq() < ing.prod.Claimed()
+	return ing != nil && ing.ring.Pending()
 }
 
 // wakeWaiters wakes Quiesce waiters to re-check the session state.
@@ -225,20 +233,33 @@ func (s *Session) wakeWaiters() {
 	s.mu.Unlock()
 }
 
-// absorb moves every pending ingress-ring event into the engine via the
-// coordinator's put path (slot 0), returning how many were absorbed. Only
-// the coordinator loop calls it.
+// absorb moves every pending ingress event into the engine via the
+// coordinator's put path, shard i draining into put-buffer slot i (mod the
+// slot count) — so absorbed events reach the step boundary already spread
+// across the slots SealSlot sorts in parallel, instead of piling into
+// slot 0. Returns how many were absorbed; only the coordinator loop calls
+// it.
 func (s *Session) absorb() int {
 	ing := s.ing.Load()
 	if ing == nil {
 		return 0
 	}
-	return ing.cons.Poll(func(_ int64, ev *ingressEvent) bool {
-		t := ev.t
-		ev.t = nil
-		s.run.put("event", nil, t, 0)
-		return true
-	})
+	slots := len(s.run.slots)
+	total := 0
+	for shard := 0; shard < ing.ring.Shards(); shard++ {
+		slot := shard % slots
+		n := ing.ring.Poll(shard, func(_ int64, ev *ingressEvent) bool {
+			t := ev.t
+			ev.t = nil
+			s.run.put("event", nil, t, slot)
+			return true
+		})
+		if n > 0 {
+			s.run.stats.ShardAbsorbed[shard] += int64(n)
+			total += n
+		}
+	}
+	return total
 }
 
 // fail records the session's first terminal error and wakes every waiter.
@@ -260,7 +281,10 @@ func (s *Session) markQuiescent() {
 	s.mu.Lock()
 	s.quiescent = true
 	if ing := s.ing.Load(); ing != nil {
-		s.consumed = ing.cons.Seq()
+		s.consumed = s.consumed[:0]
+		for i := 0; i < ing.ring.Shards(); i++ {
+			s.consumed = append(s.consumed, ing.ring.ConsumedSeq(i))
+		}
 	}
 	s.run.stats.Elapsed = time.Since(s.start)
 	close(s.qGen)
@@ -313,7 +337,7 @@ func (s *Session) PutBatch(ts ...*tuple.Tuple) error {
 	}
 	for _, t := range ts {
 		t := t
-		ing.prod.Publish(func(ev *ingressEvent) { ev.t = t })
+		ing.ring.Publish(func(ev *ingressEvent) { ev.t = t })
 		// Wake the coordinator per publish, not once per batch: a batch
 		// larger than the ring's free capacity would otherwise gate this
 		// publisher before the wake-up was ever sent, with the coordinator
@@ -335,9 +359,23 @@ func (s *Session) PutBatch(ts ...*tuple.Tuple) error {
 // session's terminal error if it failed or was closed first. Multiple
 // goroutines may Quiesce concurrently.
 func (s *Session) Quiesce(ctx context.Context) error {
-	target := int64(-1)
+	// The watermark is a vector: the highest claimed sequence per ingress
+	// shard at call time. Quiescence with every shard's absorbed sequence
+	// at or past its watermark means everything put before the call is in.
+	var target []int64
 	if ing := s.ing.Load(); ing != nil {
-		target = ing.prod.Claimed()
+		target = ing.ring.ClaimedSnapshot(nil)
+	}
+	covered := func() bool {
+		for i, w := range target {
+			if w < 0 {
+				continue // nothing ever claimed on this shard
+			}
+			if i >= len(s.consumed) || s.consumed[i] < w {
+				return false
+			}
+		}
+		return true
 	}
 	for {
 		s.mu.Lock()
@@ -350,7 +388,7 @@ func (s *Session) Quiesce(ctx context.Context) error {
 			s.mu.Unlock()
 			return ErrSessionClosed
 		}
-		if s.quiescent && s.consumed >= target {
+		if s.quiescent && covered() {
 			s.mu.Unlock()
 			return nil
 		}
@@ -433,10 +471,10 @@ func (s *Session) Close() error {
 
 // sessionHost adapts the session to the exec.Host contract: it is runHost
 // plus ingress absorption and context/close checks at each step boundary.
-// Absorbed tuples enter the coordinator's put buffer (slot 0) and are
-// flushed into the Delta tree before the next extraction, so an external
-// event becomes visible exactly at a step boundary — the same visibility
-// rule as rule puts.
+// Absorbed tuples enter the put buffers (one slot per ingress shard) and
+// are flushed into the Delta tree before the next extraction, so an
+// external event becomes visible exactly at a step boundary — the same
+// visibility rule as rule puts.
 type sessionHost struct{ s *Session }
 
 func (h sessionHost) NextBatch() ([]*tuple.Tuple, error) {

@@ -158,3 +158,116 @@ func TestPutSortedUnsortedInputStillCorrect(t *testing.T) {
 		t.Fatalf("PutSorted on unsorted input drained differently\ngot:  %v\nwant: %v", got, want)
 	}
 }
+
+// TestSplitBulkNRangeSplitMatchesPutBatch: the level-1 range refinement on
+// a hot-table flush — randomized runs dominated by one table, loaded
+// through SplitBulkN's locked sub-parts (serially and with one goroutine
+// per part) — must drain identically to the serial PutBatch reference,
+// with matching added/duplicate counts.
+func TestSplitBulkNRangeSplitMatchesPutBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		po, schemas := bulkSchemas()
+		hot := schemas[0] // BA dominates: the subtree a plain SplitBulk serialises
+		n := rangeSplitMin + rng.Intn(4*rangeSplitMin)
+		var ts []*tuple.Tuple
+		for i := 0; i < n; i++ {
+			s := hot
+			if rng.Intn(10) == 0 {
+				s = schemas[1+rng.Intn(2)] // sprinkle of BB (same lit) and BC
+			}
+			// Narrow key domain: duplicates and equal-key clusters are the
+			// interesting cases for boundary placement.
+			ts = append(ts, tuple.New(s,
+				tuple.Int(int64(rng.Intn(n/4+1))), tuple.Int(int64(rng.Intn(3)))))
+		}
+		ref := NewSequential(po)
+		refDups := 0
+		refAdded := ref.PutBatch(append([]*tuple.Tuple(nil), ts...), func(*tuple.Tuple) { refDups++ })
+		want := drainAllBatches(ref)
+
+		for _, width := range []int{2, 4, 7} {
+			for _, concurrent := range []bool{false, true} {
+				tr := NewSequential(po)
+				sorted := append([]*tuple.Tuple(nil), ts...)
+				slices.SortFunc(sorted, tuple.ComparePath)
+				parts := tr.SplitBulkN(sorted, width)
+				if parts == nil {
+					t.Fatalf("trial %d width=%d: SplitBulkN returned nil for a literal top level", trial, width)
+				}
+				split := 0
+				total := 0
+				for i := range parts {
+					total += parts[i].Len()
+					if parts[i].locked {
+						split++
+					}
+				}
+				if total != len(ts) {
+					t.Fatalf("trial %d width=%d: parts cover %d tuples, want %d", trial, width, total, len(ts))
+				}
+				if split < 2 {
+					t.Fatalf("trial %d width=%d: hot table was not range-split (%d locked parts of %d)",
+						trial, width, split, len(parts))
+				}
+				var dupMu sync.Mutex
+				dups, added := 0, 0
+				if concurrent {
+					var wg sync.WaitGroup
+					addCh := make(chan int, len(parts))
+					for i := range parts {
+						wg.Add(1)
+						go func(p BulkPart) {
+							defer wg.Done()
+							addCh <- tr.PutPart(p, func(*tuple.Tuple) {
+								dupMu.Lock()
+								dups++
+								dupMu.Unlock()
+							})
+						}(parts[i])
+					}
+					wg.Wait()
+					close(addCh)
+					for a := range addCh {
+						added += a
+					}
+				} else {
+					for i := range parts {
+						added += tr.PutPart(parts[i], func(*tuple.Tuple) { dups++ })
+					}
+				}
+				if added != refAdded || dups != refDups {
+					t.Fatalf("trial %d width=%d concurrent=%v: added=%d dups=%d, reference added=%d dups=%d",
+						trial, width, concurrent, added, dups, refAdded, refDups)
+				}
+				if got := drainAllBatches(tr); !slices.Equal(got, want) {
+					t.Fatalf("trial %d width=%d concurrent=%v: drained sequence differs from PutBatch reference",
+						trial, width, concurrent)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitBulkNLiteralLevel1FallsBack: a schema whose level-1 orderby is
+// another literal is not range-splittable (runs are not sorted by the
+// shared rank space) — SplitBulkN must keep the per-top-node partition.
+func TestSplitBulkNLiteralLevel1FallsBack(t *testing.T) {
+	po := order.NewPartialOrder()
+	po.Touch("L1")
+	po.Touch("inner")
+	s := tuple.MustSchema("LitLit",
+		[]tuple.Column{{Name: "t", Kind: tuple.KindInt}},
+		[]tuple.OrderEntry{tuple.Lit("L1"), tuple.Lit("inner"), tuple.Seq("t")})
+	s.SetID(7)
+	var ts []*tuple.Tuple
+	for i := 0; i < 4*rangeSplitMin; i++ {
+		ts = append(ts, tuple.New(s, tuple.Int(int64(i))))
+	}
+	slices.SortFunc(ts, tuple.ComparePath)
+	tr := NewSequential(po)
+	parts := tr.SplitBulkN(ts, 4)
+	if len(parts) != 1 || parts[0].locked {
+		t.Fatalf("SplitBulkN = %d parts (locked=%v), want 1 unlocked part", len(parts), len(parts) > 0 && parts[0].locked)
+	}
+}

@@ -24,6 +24,7 @@ package delta
 import (
 	"fmt"
 	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -165,6 +166,11 @@ type Tree struct {
 	dups       atomic.Int64 // duplicates discarded (usage statistics, §1.5)
 	concurrent bool
 	newMap     func() childMap
+	// splitMu orders the level-1 child-map mutations of range-split bulk
+	// parts (BulkPart.locked): the parts own disjoint key ranges, so only
+	// the shared parent's map structure needs the short lock — everything
+	// below a level-1 node stays lock-free private work.
+	splitMu sync.Mutex
 }
 
 // NewSequential returns a Delta tree backed by red-black trees, matching the
@@ -270,10 +276,13 @@ func (tr *Tree) PutBatch(ts []*tuple.Tuple, dup func(*tuple.Tuple)) int {
 // locality contract, not a correctness one — out-of-order input still
 // inserts correctly, just with fewer shared descents.
 func (tr *Tree) PutSorted(ts []*tuple.Tuple, dup func(*tuple.Tuple)) int {
-	added := tr.putRun(tr.root, 0, ts, dup)
+	added := tr.putRun(tr.root, 0, ts, dup, noLock)
 	tr.size.Add(int64(added))
 	return added
 }
+
+// noLock disables putRun's splitMu protection (the single-loader paths).
+const noLock = -1
 
 // putRun inserts one path-contiguous run of tuples, descending from start
 // (the node reached after resolving the first `level` path components of
@@ -281,7 +290,14 @@ func (tr *Tree) PutSorted(ts []*tuple.Tuple, dup func(*tuple.Tuple)) int {
 // start+i of the previous tuple's path, so path-sorted runs descend once
 // per distinct path, not once per tuple. Returns the number added; the
 // caller folds it into tr.size.
-func (tr *Tree) putRun(start *node, level int, ts []*tuple.Tuple, dup func(*tuple.Tuple)) int {
+//
+// lockAt >= 0 marks the one descent level where this run shares its parent
+// node's child map with concurrently loading range-split siblings
+// (BulkPart.locked): mutations at exactly that level take tr.splitMu.
+// Spine reuse means the lock is paid once per distinct key at that level,
+// not once per tuple; all deeper levels are private to this part's key
+// range and stay lock-free.
+func (tr *Tree) putRun(start *node, level int, ts []*tuple.Tuple, dup func(*tuple.Tuple), lockAt int) int {
 	added := 0
 	var spine []*node
 	var prev *tuple.Tuple
@@ -310,15 +326,24 @@ func (tr *Tree) putRun(start *node, level int, ts []*tuple.Tuple, dup func(*tupl
 		spine = spine[:shared-level]
 		for i := shared; i < depth; i++ {
 			key, kind := tr.resolveKey(t, i)
+			if i == lockAt {
+				tr.splitMu.Lock()
+			}
 			n.childInit.Do(func() {
 				n.children = tr.newMap()
 				n.childKind = kind
 			})
 			if n.childKind != kind {
+				if i == lockAt {
+					tr.splitMu.Unlock()
+				}
 				panic(fmt.Sprintf("jstar: table %s orderby entry %d (%v) conflicts with sibling tables at the same Delta-tree level (%v)",
 					t.Schema().Name, i, kind, n.childKind))
 			}
 			n = n.children.getOrCreate(key, func() *node { return &node{} })
+			if i == lockAt {
+				tr.splitMu.Unlock()
+			}
 			spine = append(spine, n)
 		}
 		prev = t
@@ -342,6 +367,10 @@ type BulkPart struct {
 	start *node
 	level int
 	runs  [][]*tuple.Tuple
+	// locked marks a range-split part: its runs share start's child map
+	// with sibling parts covering other key ranges, so PutPart guards
+	// mutations at exactly that level with Tree.splitMu.
+	locked bool
 }
 
 // Len returns the number of tuples in the part.
@@ -366,6 +395,38 @@ func (p *BulkPart) Len() int {
 // which case the caller should fall back to PutSorted. Must not race with
 // Put/TakeMinBatch, like every bulk path.
 func (tr *Tree) SplitBulk(ts []*tuple.Tuple) []BulkPart {
+	return tr.SplitBulkN(ts, 0)
+}
+
+// rangeSplitMin is the smallest dominant part worth range-splitting: below
+// it, the quantile scan plus per-key splitMu traffic costs more than the
+// serial load it would parallelise.
+const rangeSplitMin = 512
+
+// SplitBulkN is SplitBulk with intra-table sharding: after the per-top-node
+// partition, any part that dominates the flush (a single hot table, or a
+// literal-sharing group) and is ordered by a data-dependent level-1 key is
+// further split into up to `width` key ranges, so the hot subtree loads in
+// parallel instead of becoming the serial chokepoint. width <= 1 disables
+// the refinement (identical to SplitBulk). Sub-parts of a range split are
+// marked locked — PutPart serialises only their level-1 child-map touches.
+func (tr *Tree) SplitBulkN(ts []*tuple.Tuple, width int) []BulkPart {
+	parts := tr.splitBulk(ts)
+	if width <= 1 || len(parts) == 0 {
+		return parts
+	}
+	out := parts[:0:0]
+	for _, p := range parts {
+		if sub := tr.rangeSplit(p, width, len(ts)); sub != nil {
+			out = append(out, sub...)
+		} else {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (tr *Tree) splitBulk(ts []*tuple.Tuple) []BulkPart {
 	var parts []BulkPart
 	byNode := make(map[*node]int)
 	for lo := 0; lo < len(ts); {
@@ -408,14 +469,101 @@ func (tr *Tree) SplitBulk(ts []*tuple.Tuple) []BulkPart {
 	return parts
 }
 
+// rangeSplit refines one hot part into disjoint level-1 key ranges. It
+// returns nil when the part is not worth splitting or not splittable: a
+// non-dominant or small part, a literal level-1 (keys are shared partial-
+// order ranks the runs are not sorted by), or a split that would leave
+// fewer than two non-empty ranges. Every run in a splittable part is
+// ComparePath-sorted, which within one schema means sorted by its first
+// seq/par orderby column — so range boundaries are binary searches and
+// equal keys (hence set-semantics duplicates) never straddle a boundary.
+func (tr *Tree) rangeSplit(p BulkPart, width, total int) []BulkPart {
+	if p.level != 1 || p.Len() < rangeSplitMin || p.Len()*2 < total {
+		return nil
+	}
+	// The longest run supplies the quantile boundaries; depth-1 schemas end
+	// at the shared start node (leaf-only, self-locked) and ride in the
+	// first sub-part.
+	var longest []*tuple.Tuple
+	for _, run := range p.runs {
+		s := run[0].Schema()
+		if len(s.OrderBy) < 2 {
+			continue
+		}
+		if k := s.OrderBy[1].Kind; k != tuple.OrderSeq && k != tuple.OrderPar {
+			return nil
+		}
+		if len(run) > len(longest) {
+			longest = run
+		}
+	}
+	if len(longest) < 2 {
+		return nil
+	}
+	key := func(t *tuple.Tuple) tuple.Value {
+		return t.Field(t.Schema().OrderByColumn(1))
+	}
+	// Quantile boundary keys, deduplicated: sub-part i covers the half-open
+	// range [bounds[i-1], bounds[i]), so tuples with equal keys always land
+	// together. tuple.Compare totally orders values across schemas' column
+	// kinds, the same order the level-1 child map uses.
+	var bounds []tuple.Value
+	for j := 1; j < width; j++ {
+		b := key(longest[j*len(longest)/width])
+		if len(bounds) == 0 || tuple.Compare(bounds[len(bounds)-1], b) < 0 {
+			bounds = append(bounds, b)
+		}
+	}
+	if len(bounds) == 0 {
+		return nil
+	}
+	sub := make([]BulkPart, len(bounds)+1)
+	for i := range sub {
+		sub[i] = BulkPart{start: p.start, level: p.level, locked: true}
+	}
+	for _, run := range p.runs {
+		if len(run[0].Schema().OrderBy) < 2 {
+			sub[0].runs = append(sub[0].runs, run)
+			continue
+		}
+		lo := 0
+		for bi, b := range bounds {
+			hi := lo + sort.Search(len(run)-lo, func(i int) bool {
+				return tuple.Compare(key(run[lo+i]), b) >= 0
+			})
+			if hi > lo {
+				sub[bi].runs = append(sub[bi].runs, run[lo:hi:hi])
+			}
+			lo = hi
+		}
+		if lo < len(run) {
+			sub[len(bounds)].runs = append(sub[len(bounds)].runs, run[lo:len(run):len(run)])
+		}
+	}
+	out := sub[:0]
+	for _, q := range sub {
+		if len(q.runs) > 0 {
+			out = append(out, q)
+		}
+	}
+	if len(out) < 2 {
+		return nil
+	}
+	return out
+}
+
 // PutPart bulk-loads one SplitBulk partition. Distinct parts of the same
 // split may run concurrently (the sharded flush path); the usual bulk
 // contract still holds against Put/TakeMinBatch. dup may be called from
 // the loading goroutine and must be safe under the split's concurrency.
 func (tr *Tree) PutPart(p BulkPart, dup func(*tuple.Tuple)) int {
+	lockAt := noLock
+	if p.locked {
+		lockAt = p.level
+	}
 	added := 0
 	for _, run := range p.runs {
-		added += tr.putRun(p.start, p.level, run, dup)
+		added += tr.putRun(p.start, p.level, run, dup, lockAt)
 	}
 	tr.size.Add(int64(added))
 	return added

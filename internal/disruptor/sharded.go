@@ -1,0 +1,118 @@
+package disruptor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedRing fans a multi-producer workload across several independent
+// multi-producer rings, one per shard. A single MultiRing serialises every
+// publisher on one fetch-add cursor cache line; sharding gives each
+// publisher lane its own cursor, availability buffer and wait strategy, so
+// concurrent producers stop contending with each other almost entirely.
+// The consuming side drains each shard separately (Poll), which is exactly
+// what lets a coordinator spread absorbed events across its own downstream
+// partitions instead of funnelling them through one.
+//
+// Lane assignment is by publisher affinity, not by key: each publishing
+// goroutine borrows a lane token from a sync.Pool for the duration of one
+// Publish. The pool's per-P caches make the token — and therefore the
+// shard — sticky per processor in steady state, which is the
+// "hash-of-goroutine" behaviour wanted here without any runtime
+// introspection. Tokens lost to a GC cycle are re-minted round-robin, so
+// lanes stay balanced over time. Any interleaving is correct: every shard
+// is a full multi-producer ring.
+type ShardedRing[T any] struct {
+	shards []*Ring[T]
+	prods  []*MultiProducer[T]
+	cons   []*Consumer[T]
+	rr     atomic.Uint64
+	lanes  sync.Pool
+}
+
+// laneToken pins a publisher to one shard between pool Get/Put.
+type laneToken struct{ shard int }
+
+// NewShardedRing allocates `shards` multi-producer rings of `shardSize`
+// slots each (both powers of two) and registers one consumer per shard.
+// wait builds a fresh WaitStrategy per shard so blocked publishers of one
+// lane never share a condition variable with another's.
+func NewShardedRing[T any](shards, shardSize int, wait func() WaitStrategy) *ShardedRing[T] {
+	if shards <= 0 || shards&(shards-1) != 0 {
+		panic(fmt.Sprintf("disruptor: shard count %d is not a power of two", shards))
+	}
+	r := &ShardedRing[T]{
+		shards: make([]*Ring[T], shards),
+		prods:  make([]*MultiProducer[T], shards),
+		cons:   make([]*Consumer[T], shards),
+	}
+	for i := range r.shards {
+		ring := NewMultiRing[T](shardSize, wait())
+		r.shards[i] = ring
+		r.cons[i] = ring.NewConsumer()
+		r.prods[i] = ring.NewMultiProducer()
+	}
+	r.lanes.New = func() any {
+		return &laneToken{shard: int(r.rr.Add(1)-1) & (len(r.shards) - 1)}
+	}
+	return r
+}
+
+// Shards returns the number of lanes.
+func (r *ShardedRing[T]) Shards() int { return len(r.shards) }
+
+// ShardSize returns the per-shard ring capacity.
+func (r *ShardedRing[T]) ShardSize() int { return r.shards[0].Size() }
+
+// Publish claims a slot on the calling goroutine's lane, writes one event
+// via fill and makes it visible to that shard's consumer, returning the
+// shard used. Safe for any number of concurrent publishers; it blocks only
+// while the lane's own ring is full (per-lane backpressure).
+func (r *ShardedRing[T]) Publish(fill func(slot *T)) int {
+	tok := r.lanes.Get().(*laneToken)
+	shard := tok.shard
+	r.prods[shard].Publish(fill)
+	r.lanes.Put(tok)
+	return shard
+}
+
+// Poll drains shard's pending events without blocking, returning how many
+// were handled. Only the consuming side may call it (one logical consumer
+// per shard).
+func (r *ShardedRing[T]) Poll(shard int, handle func(seq int64, v *T) bool) int {
+	return r.cons[shard].Poll(handle)
+}
+
+// ConsumedSeq returns the highest sequence shard's consumer has processed,
+// -1 before the first event.
+func (r *ShardedRing[T]) ConsumedSeq(shard int) int64 { return r.cons[shard].Seq() }
+
+// ClaimedSnapshot appends a per-shard snapshot of the highest claimed
+// sequences to buf — the watermark vector a caller compares consumed
+// sequences against to know "everything published before now" has been
+// drained.
+func (r *ShardedRing[T]) ClaimedSnapshot(buf []int64) []int64 {
+	for _, p := range r.prods {
+		buf = append(buf, p.Claimed())
+	}
+	return buf
+}
+
+// Pending reports whether any shard holds published-but-unconsumed events.
+func (r *ShardedRing[T]) Pending() bool {
+	for i, c := range r.cons {
+		if c.Seq() < r.prods[i].Claimed() {
+			return true
+		}
+	}
+	return false
+}
+
+// Release un-gates publishers blocked on any full shard; the consuming
+// side calls it at shutdown (see Ring.Release).
+func (r *ShardedRing[T]) Release() {
+	for _, ring := range r.shards {
+		ring.Release()
+	}
+}

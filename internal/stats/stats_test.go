@@ -132,3 +132,24 @@ func TestTableReport(t *testing.T) {
 		t.Errorf("report:\n%s", rep)
 	}
 }
+
+func TestTableReportHeaderAndIngressLine(t *testing.T) {
+	_, run := traceRun(t)
+	rep := TableReport(run)
+	if !strings.Contains(rep, "strategy=") || !strings.Contains(rep, "gomaxprocs=") {
+		t.Errorf("report missing run header:\n%s", rep)
+	}
+	// A one-shot run never builds an ingress: no skew line.
+	if strings.Contains(rep, "ingress:") {
+		t.Errorf("one-shot run report shows an ingress line:\n%s", rep)
+	}
+	st := &core.RunStats{IngressShards: 4, ShardAbsorbed: []int64{10, 10, 20, 0}}
+	line := IngressLine(st)
+	if !strings.Contains(line, "shards=4") || !strings.Contains(line, "[10 10 20 0]") ||
+		!strings.Contains(line, "skew=2.00") {
+		t.Errorf("IngressLine = %q", line)
+	}
+	if IngressLine(&core.RunStats{}) != "" {
+		t.Error("IngressLine must be empty without ingress")
+	}
+}
