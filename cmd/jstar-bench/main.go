@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/jstar-lang/jstar/internal/apps/drift"
 	"github.com/jstar-lang/jstar/internal/apps/matmult"
 	"github.com/jstar-lang/jstar/internal/apps/median"
 	"github.com/jstar-lang/jstar/internal/apps/pvwatts"
@@ -75,6 +76,10 @@ func main() {
 		"run the store-plan tuning pass (pvwatts, matmult, shortestpath, median) and write the suggested per-app plans as JSON")
 	storePlan := flag.String("store-plan", "",
 		"apply a -save-plan JSON file to the tuning pass (the replay half of the two-run tuning loop)")
+	adaptive := flag.Bool("adaptive", false,
+		"run the adaptive-session drift comparison (frozen plan vs -ReplanEvery live re-planning) and gate on store-plan convergence; with -json the report joins the artifact")
+	minAdaptiveSpeedup := flag.Float64("min-adaptive-speedup", 0,
+		"with -adaptive: exit 1 if the adaptive session's mean phase-2 window latency is not this many times better than the frozen run's (0 disables; timing gate for dedicated hosts)")
 	phases := flag.Bool("phases", false,
 		"print the per-phase step breakdown (fire/insert/merge/delta + serial-boundary fraction) for the four apps")
 	maxBoundaryFrac := flag.Float64("max-boundary-frac", 0,
@@ -154,8 +159,9 @@ func main() {
 		ran = true
 		phasesTable(cfg)
 	}
-	// The smoke pass and the speedup sweep fill one shared artifact, so a
-	// CI job running both uploads a single schema-4 BENCH file.
+	// The smoke pass, the speedup sweep and the adaptive comparison fill
+	// one shared artifact, so a CI job running them uploads a single
+	// schema-5 BENCH file.
 	var art *smokeArtifact
 	ensureArt := func() {
 		if art == nil {
@@ -177,6 +183,11 @@ func main() {
 			os.Exit(2)
 		}
 		gateFailures = append(gateFailures, speedupSweep(cfg, art, procs, *minDispatchSpeedup)...)
+	}
+	if *adaptive {
+		ran = true
+		ensureArt()
+		gateFailures = append(gateFailures, adaptiveRun(cfg, art, *minAdaptiveSpeedup)...)
 	}
 	if art != nil && *jsonPath != "" {
 		data, err := json.MarshalIndent(art, "", "  ")
@@ -617,8 +628,9 @@ type speedupRow struct {
 // benchSchema is the BENCH_*.json artifact version. History:
 // 1 app runs + batch histograms; 2 per-table planner rows; 3 per-phase
 // step breakdown + step-boundary microbench sweep; 4 multi-core speedup
-// rows (the -speedup GOMAXPROCS sweep).
-const benchSchema = 4
+// rows (the -speedup GOMAXPROCS sweep); 5 adaptive drift report (the
+// -adaptive frozen-vs-re-planning session comparison).
+const benchSchema = 5
 
 // smokeArtifact is the BENCH_*.json schema CI uploads per run, so the
 // perf trajectory (and the batch-size distributions feeding store
@@ -635,6 +647,46 @@ type smokeArtifact struct {
 	StepBoundary []boundaryRow `json:"step_boundary"`
 	// Speedup is the multi-core sweep (schema 4; -speedup only).
 	Speedup []speedupRow `json:"speedup,omitempty"`
+	// Adaptive is the drift comparison (schema 5; -adaptive only).
+	Adaptive *adaptiveReport `json:"adaptive,omitempty"`
+}
+
+// migrationRow is one live store migration in the adaptive report.
+type migrationRow struct {
+	Table   string `json:"table"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Quiesce int64  `json:"quiesce"`
+	Tuples  int    `json:"tuples"`
+	Nanos   int64  `json:"nanos"`
+}
+
+// adaptiveReport is the -adaptive comparison (schema 5): the drifting
+// two-phase workload run twice — once with the plan frozen at start, once
+// with ReplanEvery live re-planning — with per-window phase-2 latencies,
+// the adaptive run's migration/strategy event log, and the headline
+// speedup (frozen mean / adaptive mean over the probe-burst windows).
+type adaptiveReport struct {
+	Keys             int            `json:"keys"`
+	IngestWindows    int            `json:"ingest_windows"`
+	ProbeWindows     int            `json:"probe_windows"`
+	ProbesPerWindow  int            `json:"probes_per_window"`
+	ReplanEvery      int            `json:"replan_every"`
+	FrozenKind       string         `json:"frozen_kind"`   // Reading's store, frozen run
+	AdaptiveKind     string         `json:"adaptive_kind"` // Reading's store after migration
+	// KindAfterIngest is Reading's backend in the adaptive run at the
+	// phase-1/phase-2 boundary — the convergence gate's input.
+	KindAfterIngest string `json:"kind_after_ingest"`
+	FrozenProbeNs    []int64        `json:"frozen_probe_ns"`
+	AdaptiveProbeNs  []int64        `json:"adaptive_probe_ns"`
+	FrozenMeanNs     float64        `json:"frozen_mean_ns"`
+	AdaptiveMeanNs   float64        `json:"adaptive_mean_ns"`
+	Speedup          float64        `json:"speedup"`
+	Migrations       []migrationRow `json:"migrations"`
+	StrategySwitches int            `json:"strategy_switches"`
+	// ConvergeQuiesce is the quiescent boundary at which Reading migrated
+	// onto its point-probe backend (0 = never; the convergence gate).
+	ConvergeQuiesce int64 `json:"converge_quiesce"`
 }
 
 // newArtifact stamps an empty artifact with the host and run configuration.
@@ -943,6 +995,116 @@ func pick(seq bool, strat exec.Strategy) exec.Strategy {
 		return exec.Auto
 	}
 	return strat
+}
+
+// adaptiveRun is the -adaptive pass: the drifting two-phase workload
+// (put-dominated ingest, then point-probe bursts against the accumulated
+// table) executed once with the store plan frozen at start and once with
+// ReplanEvery live re-planning, compared on mean per-window latency over
+// the probe-burst phase. Each side keeps the best of cfg.repeats runs.
+//
+// The convergence gate always applies: the adaptive run must migrate
+// Reading onto a hash-family point-probe backend, and must do so within
+// the ingest phase plus two probe windows' worth of quiescent boundaries —
+// a re-planner that converges later than that isn't following the drift.
+// minSpeedup > 0 additionally gates on the measured latency win; CI leaves
+// that off on shared runners and the artifact records the numbers instead.
+func adaptiveRun(cfg config, art *smokeArtifact, minSpeedup float64) []string {
+	fmt.Println("== Adaptive session (drift workload) ==")
+	base := drift.RunOpts{
+		Keys:            20_000,
+		IngestWindows:   4,
+		ProbeWindows:    6,
+		ProbesPerWindow: 4_000,
+		Strategy:        cfg.strategy,
+		Threads:         runtime.NumCPU(),
+		Seed:            42,
+	}
+	measure := func(replanEvery int) *drift.Result {
+		var best *drift.Result
+		for i := 0; i < cfg.repeats; i++ {
+			opts := base
+			opts.ReplanEvery = replanEvery
+			res, err := drift.Run(opts)
+			must(err)
+			if best == nil || res.ProbeNanosMean() < best.ProbeNanosMean() {
+				best = res
+			}
+		}
+		return best
+	}
+	frozen := measure(0)
+	adaptive := measure(1)
+
+	rep := &adaptiveReport{
+		Keys:             base.Keys,
+		IngestWindows:    base.IngestWindows,
+		ProbeWindows:     base.ProbeWindows,
+		ProbesPerWindow:  base.ProbesPerWindow,
+		ReplanEvery:      1,
+		FrozenKind:       frozen.ReadingKind,
+		AdaptiveKind:     adaptive.ReadingKind,
+		KindAfterIngest:  adaptive.KindAfterIngest,
+		FrozenProbeNs:    frozen.ProbeNanos,
+		AdaptiveProbeNs:  adaptive.ProbeNanos,
+		FrozenMeanNs:     frozen.ProbeNanosMean(),
+		AdaptiveMeanNs:   adaptive.ProbeNanosMean(),
+		StrategySwitches: len(adaptive.Stats.StrategySwitches),
+	}
+	if rep.AdaptiveMeanNs > 0 {
+		rep.Speedup = rep.FrozenMeanNs / rep.AdaptiveMeanNs
+	}
+	for _, m := range adaptive.Stats.Migrations {
+		rep.Migrations = append(rep.Migrations, migrationRow{
+			Table: m.Table, From: m.From, To: m.To,
+			Quiesce: m.Quiesce, Tuples: m.Tuples, Nanos: m.Nanos,
+		})
+		if m.Table == "Reading" && rep.ConvergeQuiesce == 0 {
+			rep.ConvergeQuiesce = m.Quiesce
+		}
+	}
+	art.Adaptive = rep
+
+	fmt.Printf("frozen   Reading=%-10s probe-window mean %10v\n",
+		rep.FrozenKind, time.Duration(rep.FrozenMeanNs).Round(time.Microsecond))
+	fmt.Printf("adaptive Reading=%-10s probe-window mean %10v  (x%.2f, %d migrations, %d strategy switches)\n",
+		rep.AdaptiveKind, time.Duration(rep.AdaptiveMeanNs).Round(time.Microsecond),
+		rep.Speedup, len(rep.Migrations), rep.StrategySwitches)
+	for _, m := range rep.Migrations {
+		fmt.Printf("  quiesce %-3d %-8s %s -> %s (%d tuples, %v)\n",
+			m.Quiesce, m.Table, m.From, m.To, m.Tuples,
+			time.Duration(m.Nanos).Round(time.Microsecond))
+	}
+
+	var failures []string
+	if frozen.Answers != adaptive.Answers || frozen.Checksum != adaptive.Checksum {
+		failures = append(failures, fmt.Sprintf(
+			"jstar-bench: adaptive drift run diverged from frozen (answers %d vs %d, checksum %d vs %d)",
+			adaptive.Answers, frozen.Answers, adaptive.Checksum, frozen.Checksum))
+	}
+	if kn := gamma.KindName(rep.AdaptiveKind); kn != "hash" && kn != "inthash" {
+		failures = append(failures, fmt.Sprintf(
+			"jstar-bench: adaptive drift run left Reading on %q, want a hash-family point-probe backend",
+			rep.AdaptiveKind))
+	}
+	// Convergence gate: the probe trickle must have pulled Reading onto a
+	// point-probe backend before the probe bursts started — a re-planner
+	// that only reacts once phase 2 hammers it isn't following the drift.
+	if kn := gamma.KindName(rep.KindAfterIngest); kn != "hash" && kn != "inthash" {
+		failures = append(failures, fmt.Sprintf(
+			"jstar-bench: adaptive drift run entered the probe phase with Reading on %q, want a hash-family backend by the end of ingest",
+			rep.KindAfterIngest))
+	}
+	if minSpeedup > 0 && rep.Speedup < minSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"jstar-bench: adaptive phase-2 speedup x%.2f below the -min-adaptive-speedup gate (x%.2f)",
+			rep.Speedup, minSpeedup))
+	}
+	if len(failures) == 0 {
+		fmt.Printf("adaptive gate: converged at quiesce %d, phase-2 x%.2f\n", rep.ConvergeQuiesce, rep.Speedup)
+	}
+	fmt.Println()
+	return failures
 }
 
 // stepBoundarySweep runs the boundary microbench over slot counts and

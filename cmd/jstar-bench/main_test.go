@@ -9,8 +9,8 @@ import (
 // benchSchema (and this test) whenever a field is added, so downstream
 // trajectory tooling can dispatch on it.
 func TestArtifactSchemaVersion(t *testing.T) {
-	if benchSchema != 4 {
-		t.Fatalf("benchSchema = %d, want 4 (update the schema history comment and this pin together)", benchSchema)
+	if benchSchema != 5 {
+		t.Fatalf("benchSchema = %d, want 5 (update the schema history comment and this pin together)", benchSchema)
 	}
 	if got := newArtifact(config{repeats: 3}).Schema; got != benchSchema {
 		t.Fatalf("newArtifact schema = %d, want %d", got, benchSchema)
@@ -67,6 +67,37 @@ func TestArtifactSchema3Compat(t *testing.T) {
 	}
 	if len(art.Speedup) != 0 {
 		t.Fatalf("schema-3 artifact grew speedup rows: %+v", art.Speedup)
+	}
+}
+
+// TestArtifactSchema4Compat: a schema-4 BENCH file (speedup rows, no
+// adaptive report) must still unmarshal into the current artifact struct —
+// the fields through schema 4 are append-only, and the schema-5 Adaptive
+// field stays nil.
+func TestArtifactSchema4Compat(t *testing.T) {
+	const schema4 = `{
+  "schema": 4,
+  "strategy": "auto",
+  "gomaxprocs": 4,
+  "numcpu": 4,
+  "go_version": "go1.22.0",
+  "repeats": 5,
+  "runs": [],
+  "step_boundary": [],
+  "speedup": [
+    {"name": "dispatch", "strategy": "forkjoin", "gomaxprocs": 4, "threads": 4,
+     "elapsed_ns": 1000000, "speedup": 2.5}
+  ]
+}`
+	var art smokeArtifact
+	if err := json.Unmarshal([]byte(schema4), &art); err != nil {
+		t.Fatalf("schema-4 artifact no longer parses: %v", err)
+	}
+	if art.Schema != 4 || len(art.Speedup) != 1 || art.Speedup[0].Speedup != 2.5 {
+		t.Fatalf("schema-4 fields misparsed: %+v", art)
+	}
+	if art.Adaptive != nil {
+		t.Fatalf("schema-4 artifact grew an adaptive report: %+v", art.Adaptive)
 	}
 }
 

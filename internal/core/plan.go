@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/jstar-lang/jstar/internal/gamma"
+	"github.com/jstar-lang/jstar/internal/tuple"
 )
 
 // This file is the profile-guided store planner: it turns one run's
@@ -79,39 +80,89 @@ func PlanFromStats(rs *RunStats) gamma.StorePlan {
 			continue
 		}
 		s := rs.schemas[name]
-		if s == nil || st.Puts.Load() < minPuts {
+		if s == nil {
 			continue
 		}
-		puts := st.Puts.Load()
-		dups := st.Duplicates.Load()
-		queries := st.Queries.Load()
-		indexed := st.IndexedQueries.Load()
-		allInt := gamma.AllIntColumns(s)
-		switch {
-		case queries > 0 && indexed == queries:
-			k := int(st.MinPrefixLen.Load())
-			if k < 1 {
-				k = 1
-			}
-			if k > s.Arity() {
-				k = s.Arity()
-			}
-			if allInt && puts > queries {
-				plan[name] = fmt.Sprintf("inthash:%d", k)
-			} else {
-				plan[name] = fmt.Sprintf("hash:%d", k)
-			}
-		case queries == 0 && 2*dups >= puts:
-			if allInt {
-				plan[name] = fmt.Sprintf("inthash:%d", s.Arity())
-			} else {
-				plan[name] = "columnar"
-			}
-		case indexed == 0:
-			plan[name] = "columnar"
+		c := lifetimeCounters(st)
+		if c.puts < minPuts {
+			continue
+		}
+		if kind := suggestKind(s, c); kind != "" {
+			plan[name] = kind
 		}
 	}
+	// A migrated table the heuristics have no fresh opinion about keeps its
+	// end state: the migration was earned by observed drift, so a saved
+	// plan replays the final kind instead of silently falling back to the
+	// strategy default.
+	for _, m := range rs.Migrations {
+		name := m.Table
+		if _, ok := plan[name]; ok {
+			continue
+		}
+		if rs.noGamma[name] || !replannable(rs.StoreKinds[name]) {
+			continue
+		}
+		plan[name] = rs.StoreKinds[name]
+	}
 	return plan
+}
+
+// tableCounters is one table's planner-relevant counters over some
+// interval — the whole run (lifetimeCounters) or one re-plan window (the
+// adaptive session's snapshot deltas).
+type tableCounters struct {
+	puts, dups, queries, indexed, minPrefix int64
+}
+
+func lifetimeCounters(st *TableStats) tableCounters {
+	return tableCounters{
+		puts:      st.Puts.Load(),
+		dups:      st.Duplicates.Load(),
+		queries:   st.Queries.Load(),
+		indexed:   st.IndexedQueries.Load(),
+		minPrefix: st.MinPrefixLen.Load(),
+	}
+}
+
+// sub returns the windowed counters c - prev. minPrefix does not subtract —
+// windowed callers overwrite it from TableStats.winMinPrefix.
+func (c tableCounters) sub(prev tableCounters) tableCounters {
+	return tableCounters{
+		puts:    c.puts - prev.puts,
+		dups:    c.dups - prev.dups,
+		queries: c.queries - prev.queries,
+		indexed: c.indexed - prev.indexed,
+	}
+}
+
+// suggestKind applies the PlanFromStats heuristics to one counter view.
+// "" means no opinion (mixed query shapes): the table keeps its backend.
+// Callers apply the volume floor; the heuristics only look at shape.
+func suggestKind(s *tuple.Schema, c tableCounters) string {
+	allInt := gamma.AllIntColumns(s)
+	switch {
+	case c.queries > 0 && c.indexed == c.queries:
+		k := int(c.minPrefix)
+		if k < 1 {
+			k = 1
+		}
+		if k > s.Arity() {
+			k = s.Arity()
+		}
+		if allInt && c.puts > c.queries {
+			return fmt.Sprintf("inthash:%d", k)
+		}
+		return fmt.Sprintf("hash:%d", k)
+	case c.queries == 0 && 2*c.dups >= c.puts:
+		if allInt {
+			return fmt.Sprintf("inthash:%d", s.Arity())
+		}
+		return "columnar"
+	case c.indexed == 0:
+		return "columnar"
+	}
+	return ""
 }
 
 // SuggestStorePlan recommends per-table store backends for re-running the

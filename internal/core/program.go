@@ -242,6 +242,19 @@ type Options struct {
 	// up to a power of two (capped at 8). 1 reproduces the old single-ring
 	// ingress exactly.
 	IngressShards int
+	// ReplanEvery, when > 0, turns the session adaptive: every N quiescent
+	// boundaries the coordinator re-derives the per-table store plan and
+	// the executor strategy from *windowed* statistics (counters since the
+	// last evaluation, not lifetime aggregates) and applies the changes
+	// live — a table is drained, rebuilt via the suggested backend and
+	// atomically swapped in; the executor is replaced between steps. Both
+	// actions sit behind hysteresis: a suggestion must win
+	// ReplanStreakWins consecutive windows, and tables below the planner's
+	// volume floor are left alone, so a noisy window never thrashes
+	// storage. 0 (the default) keeps the plan frozen at NewRun — the
+	// offline -save-plan/-store-plan behaviour. Migration and switch
+	// events are logged in RunStats.Migrations / StrategySwitches.
+	ReplanEvery int
 	// Pool lets callers share an external fork/join pool across runs
 	// (benchmarks); when nil the run creates and owns one.
 	Pool PoolRef
@@ -261,6 +274,13 @@ func (o *Options) threads() int {
 	if o.strategy() == exec.Sequential {
 		return 1
 	}
+	return o.parallelThreads()
+}
+
+// parallelThreads resolves the thread count ignoring the strategy — the
+// capacity an adaptive session sizes its slots for, since a mid-run
+// strategy switch may upgrade a sequential start to a parallel executor.
+func (o *Options) parallelThreads() int {
 	if o.Threads > 0 {
 		return o.Threads
 	}
@@ -335,7 +355,7 @@ func (p *Program) knownTables() string {
 // Validate reports configuration errors: unknown table names in NoDelta/
 // NoGamma/hints, unknown or unsuitable store kinds in StorePlan and the
 // compiler's plan hints (listing the legal kinds), a negative thread
-// count, a malformed ingress ring size,
+// count, a malformed ingress ring size, a negative ReplanEvery,
 // and contradictory strategy flags. Every error says what was wrong and
 // what the legal values are, so misconfiguration never silently degrades
 // or panics mid-run.
@@ -348,6 +368,9 @@ func (p *Program) Validate(opts Options) error {
 	}
 	if opts.Threads < 0 {
 		errs = append(errs, fmt.Sprintf("Threads: %d is negative (0 means NumCPU)", opts.Threads))
+	}
+	if opts.ReplanEvery < 0 {
+		errs = append(errs, fmt.Sprintf("ReplanEvery: %d is negative (0 disables adaptive re-planning)", opts.ReplanEvery))
 	}
 	if opts.IngressRing < 0 || (opts.IngressRing > 0 && opts.IngressRing&(opts.IngressRing-1) != 0) {
 		errs = append(errs, fmt.Sprintf("IngressRing: %d is not a power of two (0 means 1024)", opts.IngressRing))

@@ -38,6 +38,12 @@ type TableStats struct {
 	IndexedQueries atomic.Int64
 	PrefixLenSum   atomic.Int64
 	MinPrefixLen   atomic.Int64
+	// winMinPrefix is MinPrefixLen's windowed twin: the shortest indexed
+	// prefix observed since the re-planner last evaluated this table. The
+	// monotone counters above yield windowed values by snapshot delta, but
+	// a minimum cannot be subtracted, so it gets its own resettable atomic
+	// (reset only by the coordinator, at a quiescent boundary).
+	winMinPrefix atomic.Int64
 }
 
 // noteIndexed folds a batch of indexed-query observations (count, total
@@ -46,12 +52,17 @@ type TableStats struct {
 func (t *TableStats) noteIndexed(indexed, plen, min int64) {
 	t.IndexedQueries.Add(indexed)
 	t.PrefixLenSum.Add(plen)
+	casMin(&t.MinPrefixLen, min)
+	casMin(&t.winMinPrefix, min)
+}
+
+func casMin(a *atomic.Int64, min int64) {
 	for {
-		cur := t.MinPrefixLen.Load()
+		cur := a.Load()
 		if cur != 0 && cur <= min {
 			return
 		}
-		if t.MinPrefixLen.CompareAndSwap(cur, min) {
+		if a.CompareAndSwap(cur, min) {
 			return
 		}
 	}
@@ -72,12 +83,25 @@ type RunStats struct {
 	Tables     map[string]*TableStats
 	RuleNanos  map[string]*atomic.Int64 // cumulative body time per rule
 
-	// StoreKinds records the store backend chosen for each table when the
-	// run was built — a replayable gamma kind spec ("skip", "hash:2",
-	// "dense3d:3,96,96", "custom" for opaque factories). It is the "kind
-	// chosen" column of the BENCH artifact's per-table rows and the
-	// planner's view of which choices it may override.
+	// StoreKinds records the store backend currently backing each table —
+	// a replayable gamma kind spec ("skip", "hash:2", "dense3d:3,96,96",
+	// "custom" for opaque factories). Initialised when the run is built and
+	// updated on every live migration, so at quiescence it names the *final*
+	// kind (the one a saved plan should replay); Migrations holds the
+	// from→to history. It is the "kind chosen" column of the BENCH
+	// artifact's per-table rows and the planner's view of which choices it
+	// may override. Written only by the coordinator; read at quiescence.
 	StoreKinds map[string]string
+	// Migrations is the live store-migration event log: one entry per
+	// completed drain→rebuild→swap, in execution order. Written only by the
+	// coordinator at quiescent boundaries; read at quiescence.
+	Migrations []MigrationEvent
+	// StrategySwitches logs executor strategy re-picks between steps (the
+	// online SuggestStrategy loop). Same access contract as Migrations.
+	StrategySwitches []StrategySwitch
+	// Replans counts re-plan evaluations (windows inspected), whether or
+	// not they migrated anything.
+	Replans int64
 	// schemas and noGamma carry the planner's non-counter inputs (column
 	// kinds for backend suitability; tables whose stores are never used).
 	schemas map[string]*tuple.Schema
@@ -258,6 +282,10 @@ type Run struct {
 	ownPool  *forkjoin.Pool
 	executor exec.Executor
 	threads  int
+	// curStrategy is the strategy behind the current executor, updated by
+	// switchExecutor. Auto means "still adaptive" — the re-planner's first
+	// switch replaces the adaptive executor with a concrete one.
+	curStrategy exec.Strategy
 
 	slots    []putSlot
 	slotCtx  []Ctx            // per-slot reusable rule contexts for fireBatch
@@ -397,18 +425,31 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 		r.threads = r.pool.Size()
 	}
 	if strategy == exec.Sequential {
-		r.threads = 1
+		if opts.ReplanEvery > 0 {
+			// An adaptive session may re-pick a parallel strategy mid-run,
+			// so the slot/context arrays are sized for the parallel thread
+			// count up front — a strategy switch must never resize live put
+			// buffers.
+			r.threads = opts.parallelThreads()
+		} else {
+			r.threads = 1
+		}
 	}
 
 	var pool exec.Pool
 	if r.pool != nil {
 		pool = r.pool
 	}
-	ex, err := exec.New(strategy, exec.Config{Threads: r.threads, Pool: pool})
+	execThreads := r.threads
+	if strategy == exec.Sequential {
+		execThreads = 1
+	}
+	ex, err := exec.New(strategy, exec.Config{Threads: execThreads, Pool: pool})
 	if err != nil {
 		return nil, err
 	}
 	r.executor = ex
+	r.curStrategy = strategy
 	r.slots = make([]putSlot, r.threads+1)
 	// One reusable Ctx per slot: the batched firing path re-points its
 	// rule/trigger fields per group instead of allocating a Ctx per firing.

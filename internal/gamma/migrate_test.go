@@ -1,0 +1,172 @@
+package gamma
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// scanSorted drains st into a field-sorted slice for content comparison.
+func scanSorted(st Store) []*tuple.Tuple {
+	var out []*tuple.Tuple
+	st.Scan(func(t *tuple.Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].CompareFields(out[j-1]) < 0; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sameContents(t *testing.T, a, b []*tuple.Tuple) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("contents differ: %d vs %d tuples", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("contents differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMigratePreservesContents chains a registered table through every
+// general-purpose backend and asserts the contents survive each swap.
+func TestMigratePreservesContents(t *testing.T) {
+	s := pvSchema()
+	s.SetID(0)
+	db := NewDB(NewTreeStore)
+	db.Register([]*tuple.Schema{s})
+	for i := int64(0); i < 500; i++ {
+		db.Insert(pv(s, 2000+i%5, 1+i%12, 1+i%28, i))
+	}
+	want := scanSorted(db.Table(s))
+
+	chain := []StoreFactory{
+		NewSkipStore, NewHashStore(2), NewColumnarStore,
+		NewIntHashStore(1), NewTreeStore,
+	}
+	var scratch []*tuple.Tuple
+	for i, f := range chain {
+		var err error
+		scratch, err = db.Migrate(s, f, scratch)
+		if err != nil {
+			t.Fatalf("migrate step %d: %v", i, err)
+		}
+		got := scanSorted(db.Table(s))
+		sameContents(t, want, got)
+		if db.Table(s).Len() != len(want) {
+			t.Fatalf("migrate step %d: Len = %d, want %d", i, db.Table(s).Len(), len(want))
+		}
+	}
+	// The drained scratch is returned for recycling and holds the contents.
+	if len(scratch) != len(want) {
+		t.Fatalf("scratch holds %d tuples, want %d", len(scratch), len(want))
+	}
+}
+
+// TestMigrateUnregisteredTable covers the map-path fallback (ad-hoc schemas
+// never passed to Register).
+func TestMigrateUnregisteredTable(t *testing.T) {
+	s := pvSchema()
+	db := NewDB(NewTreeStore)
+	for i := int64(0); i < 64; i++ {
+		db.Insert(pv(s, 2000, 1+i%12, 1+i%28, i))
+	}
+	want := scanSorted(db.Table(s))
+	if _, err := db.Migrate(s, NewHashStore(1), nil); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if KindOf(db.Table(s)) != "hash:1" {
+		t.Fatalf("kind after migrate = %s", KindOf(db.Table(s)))
+	}
+	sameContents(t, want, scanSorted(db.Table(s)))
+
+	missing := tuple.MustSchema("Missing", []tuple.Column{{Name: "v", Kind: tuple.KindInt}}, nil)
+	if _, err := db.Migrate(missing, NewTreeStore, nil); err == nil {
+		t.Fatal("migrating a table with no store must error")
+	}
+}
+
+// TestSetStoreAfterRegisterRebuilds is the regression test for the old
+// silent no-op: SetStore on an already-registered table must rebuild it
+// with the new factory, keeping the contents.
+func TestSetStoreAfterRegisterRebuilds(t *testing.T) {
+	s := pvSchema()
+	s.SetID(0)
+	db := NewDB(NewTreeStore)
+	db.Register([]*tuple.Schema{s})
+	for i := int64(0); i < 300; i++ {
+		db.Insert(pv(s, 2000, 1+i%12, 1+i%28, i))
+	}
+	want := scanSorted(db.Table(s))
+	if kind := KindOf(db.Table(s)); kind != "tree" {
+		t.Fatalf("pre-SetStore kind = %s", kind)
+	}
+	if err := db.SetStore("PvWatts", NewHashStore(2)); err != nil {
+		t.Fatalf("SetStore after Register: %v", err)
+	}
+	if kind := KindOf(db.Table(s)); kind != "hash:2" {
+		t.Fatalf("SetStore after Register did not rebuild: kind = %s", kind)
+	}
+	sameContents(t, want, scanSorted(db.Table(s)))
+
+	// Pre-Register calls stay hint-only and error-free.
+	db2 := NewDB(NewTreeStore)
+	if err := db2.SetStore("PvWatts", NewSkipStore); err != nil {
+		t.Fatalf("SetStore before Register: %v", err)
+	}
+}
+
+// TestMigrateConcurrentReaders hammers Query/Scan readers while the table
+// migrates back and forth; every read must observe a complete store. Run
+// under -race this also proves the swap is data-race free.
+func TestMigrateConcurrentReaders(t *testing.T) {
+	s := pvSchema()
+	s.SetID(0)
+	db := NewDB(NewTreeStore)
+	db.Register([]*tuple.Schema{s})
+	const n = 400
+	for i := int64(0); i < n; i++ {
+		db.Insert(pv(s, 2000+i%3, 1+i%12, 1+i%28, i))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := db.Table(s)
+				got := 0
+				st.Scan(func(*tuple.Tuple) bool { got++; return true })
+				if got != n {
+					panic(fmt.Sprintf("reader %d saw %d of %d tuples", w, got, n))
+				}
+				st.Select(Query{Prefix: []tuple.Value{tuple.Int(2001), tuple.Int(4)}},
+					func(*tuple.Tuple) bool { return true })
+			}
+		}(w)
+	}
+	kinds := []StoreFactory{NewSkipStore, NewHashStore(1), NewColumnarStore, NewIntHashStore(2), NewTreeStore}
+	var scratch []*tuple.Tuple
+	for round := 0; round < 20; round++ {
+		var err error
+		scratch, err = db.Migrate(s, kinds[round%len(kinds)], scratch)
+		if err != nil {
+			t.Fatalf("migrate round %d: %v", round, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -180,6 +180,30 @@ func TableReport(run *core.Run) string {
 		st.Steps, st.MaxBatch, st.TotalFired, st.Elapsed.Round(time.Microsecond))
 	b.WriteString(IngressLine(st))
 	b.WriteString(PhaseLine(st))
+	b.WriteString(AdaptiveLines(st))
+	return b.String()
+}
+
+// AdaptiveLines renders an adaptive session's re-planning event log — one
+// line per live store migration and per executor strategy switch, plus a
+// summary of how many windows were evaluated. Empty for frozen runs
+// (ReplanEvery unset and no explicit Session.Migrate calls).
+func AdaptiveLines(st *core.RunStats) string {
+	if st.Replans == 0 && len(st.Migrations) == 0 && len(st.StrategySwitches) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "adaptive: replans=%d migrations=%d strategy-switches=%d\n",
+		st.Replans, len(st.Migrations), len(st.StrategySwitches))
+	for _, m := range st.Migrations {
+		fmt.Fprintf(&b, "  migrate q%-4d %-16s %s -> %s (%d tuples, %v)\n",
+			m.Quiesce, m.Table, m.From, m.To, m.Tuples,
+			time.Duration(m.Nanos).Round(time.Microsecond))
+	}
+	for _, sw := range st.StrategySwitches {
+		fmt.Fprintf(&b, "  strategy q%-4d %s -> %s (window batch %.1f)\n",
+			sw.Quiesce, sw.From, sw.To, sw.WindowBatch)
+	}
 	return b.String()
 }
 

@@ -153,3 +153,24 @@ func TestTableReportHeaderAndIngressLine(t *testing.T) {
 		t.Error("IngressLine must be empty without ingress")
 	}
 }
+
+func TestAdaptiveLines(t *testing.T) {
+	if AdaptiveLines(&core.RunStats{}) != "" {
+		t.Error("AdaptiveLines must be empty for frozen runs")
+	}
+	st := &core.RunStats{
+		Replans: 3,
+		Migrations: []core.MigrationEvent{
+			{Quiesce: 4, Table: "Reading", From: "tree", To: "inthash:1", Tuples: 800, Nanos: 1_500_000},
+		},
+		StrategySwitches: []core.StrategySwitch{
+			{Quiesce: 6, From: "sequential", To: "forkjoin", WindowBatch: 512},
+		},
+	}
+	lines := AdaptiveLines(st)
+	if !strings.Contains(lines, "replans=3") ||
+		!strings.Contains(lines, "Reading") || !strings.Contains(lines, "tree -> inthash:1") ||
+		!strings.Contains(lines, "sequential -> forkjoin") {
+		t.Errorf("AdaptiveLines = %q", lines)
+	}
+}

@@ -62,6 +62,14 @@
 // cancellation and deadlines are honoured at every step boundary, so even
 // a non-terminating program is stoppable without Options.MaxSteps.
 //
+// A session need not stay on the plan it started with: Options.ReplanEvery
+// re-runs the store and strategy planners over windowed statistics at
+// quiescent boundaries, migrating drifting tables onto better backends
+// live (drain, rebuild, atomic swap — readers never block) and re-picking
+// the executor strategy, both behind hysteresis. Session.Migrate performs
+// the same store move explicitly, and RunStats.Migrations /
+// RunStats.StrategySwitches log every decision taken.
+//
 // Program.Execute and Run.ExecuteEvents remain as one-shot compatibility
 // wrappers over the same Session machinery: Execute is start-quiesce-close,
 // and ExecuteEvents keeps its legacy serial contract of draining to
