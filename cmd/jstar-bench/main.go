@@ -82,6 +82,13 @@ func main() {
 		"with -adaptive: exit 1 if the adaptive session's mean phase-2 window latency is not this many times better than the frozen run's (0 disables; timing gate for dedicated hosts)")
 	phases := flag.Bool("phases", false,
 		"print the per-phase step breakdown (fire/insert/merge/delta + serial-boundary fraction) for the four apps")
+	serveLoad := flag.Bool("serve-load", false,
+		"drive a jstar-serve instance with concurrent clients over real sockets; reports ingest and quiesce-visibility latency histograms")
+	serveAddr := flag.String("serve-addr", "",
+		"base URL of a running jstar-serve for -serve-load (empty: start one in-process on a loopback socket)")
+	serveClients := flag.Int("serve-clients", 4, "concurrent -serve-load clients")
+	serveBatches := flag.Int("serve-batches", 25, "batches per -serve-load client")
+	serveBatchRows := flag.Int("serve-batch-rows", 64, "tuples per -serve-load batch")
 	maxBoundaryFrac := flag.Float64("max-boundary-frac", 0,
 		"with -smoke: exit 1 if any app run's serial-boundary fraction exceeds this (0 disables; CI's regression gate)")
 	flag.Parse()
@@ -159,9 +166,9 @@ func main() {
 		ran = true
 		phasesTable(cfg)
 	}
-	// The smoke pass, the speedup sweep and the adaptive comparison fill
-	// one shared artifact, so a CI job running them uploads a single
-	// schema-5 BENCH file.
+	// The smoke pass, the speedup sweep, the adaptive comparison and the
+	// serve load all fill one shared artifact, so a CI job running them
+	// uploads a single schema-6 BENCH file.
 	var art *smokeArtifact
 	ensureArt := func() {
 		if art == nil {
@@ -188,6 +195,12 @@ func main() {
 		ran = true
 		ensureArt()
 		gateFailures = append(gateFailures, adaptiveRun(cfg, art, *minAdaptiveSpeedup)...)
+	}
+	if *serveLoad {
+		ran = true
+		ensureArt()
+		gateFailures = append(gateFailures,
+			serveLoadRun(art, *serveAddr, *serveClients, *serveBatches, *serveBatchRows)...)
 	}
 	if art != nil && *jsonPath != "" {
 		data, err := json.MarshalIndent(art, "", "  ")
@@ -629,8 +642,10 @@ type speedupRow struct {
 // 1 app runs + batch histograms; 2 per-table planner rows; 3 per-phase
 // step breakdown + step-boundary microbench sweep; 4 multi-core speedup
 // rows (the -speedup GOMAXPROCS sweep); 5 adaptive drift report (the
-// -adaptive frozen-vs-re-planning session comparison).
-const benchSchema = 5
+// -adaptive frozen-vs-re-planning session comparison); 6 serve-load
+// latency report (the -serve-load ingest/quiesce-visibility histograms
+// measured over real sockets against jstar-serve).
+const benchSchema = 6
 
 // smokeArtifact is the BENCH_*.json schema CI uploads per run, so the
 // perf trajectory (and the batch-size distributions feeding store
@@ -649,6 +664,8 @@ type smokeArtifact struct {
 	Speedup []speedupRow `json:"speedup,omitempty"`
 	// Adaptive is the drift comparison (schema 5; -adaptive only).
 	Adaptive *adaptiveReport `json:"adaptive,omitempty"`
+	// Serve is the network-load latency report (schema 6; -serve-load only).
+	Serve *serveReport `json:"serve,omitempty"`
 }
 
 // migrationRow is one live store migration in the adaptive report.

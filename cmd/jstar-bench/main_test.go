@@ -9,8 +9,8 @@ import (
 // benchSchema (and this test) whenever a field is added, so downstream
 // trajectory tooling can dispatch on it.
 func TestArtifactSchemaVersion(t *testing.T) {
-	if benchSchema != 5 {
-		t.Fatalf("benchSchema = %d, want 5 (update the schema history comment and this pin together)", benchSchema)
+	if benchSchema != 6 {
+		t.Fatalf("benchSchema = %d, want 6 (update the schema history comment and this pin together)", benchSchema)
 	}
 	if got := newArtifact(config{repeats: 3}).Schema; got != benchSchema {
 		t.Fatalf("newArtifact schema = %d, want %d", got, benchSchema)
@@ -98,6 +98,87 @@ func TestArtifactSchema4Compat(t *testing.T) {
 	}
 	if art.Adaptive != nil {
 		t.Fatalf("schema-4 artifact grew an adaptive report: %+v", art.Adaptive)
+	}
+}
+
+// TestArtifactSchema5Compat: a schema-5 BENCH file (adaptive report, no
+// serve report) must still unmarshal into the current artifact struct —
+// the fields through schema 5 are append-only, and the schema-6 Serve
+// field stays nil.
+func TestArtifactSchema5Compat(t *testing.T) {
+	const schema5 = `{
+  "schema": 5,
+  "strategy": "auto",
+  "gomaxprocs": 4,
+  "numcpu": 4,
+  "go_version": "go1.22.0",
+  "repeats": 5,
+  "runs": [],
+  "step_boundary": [],
+  "adaptive": {
+    "keys": 20000,
+    "ingest_windows": 4,
+    "probe_windows": 4,
+    "probes_per_window": 2000,
+    "replan_every": 2,
+    "frozen_kind": "columnar",
+    "adaptive_kind": "inthash:1",
+    "kind_after_ingest": "columnar",
+    "frozen_probe_ns": [1000, 1100],
+    "adaptive_probe_ns": [400, 500],
+    "frozen_mean_ns": 1050,
+    "adaptive_mean_ns": 450,
+    "speedup": 2.33,
+    "migrations": [
+      {"table": "Reading", "from": "columnar", "to": "inthash:1",
+       "quiesce": 5, "tuples": 20000, "nanos": 900000}
+    ],
+    "strategy_switches": 0,
+    "converge_quiesce": 5
+  }
+}`
+	var art smokeArtifact
+	if err := json.Unmarshal([]byte(schema5), &art); err != nil {
+		t.Fatalf("schema-5 artifact no longer parses: %v", err)
+	}
+	if art.Schema != 5 || art.Adaptive == nil || art.Adaptive.Speedup != 2.33 {
+		t.Fatalf("schema-5 fields misparsed: %+v", art)
+	}
+	if len(art.Adaptive.Migrations) != 1 || art.Adaptive.Migrations[0].To != "inthash:1" {
+		t.Fatalf("schema-5 migrations misparsed: %+v", art.Adaptive.Migrations)
+	}
+	if art.Serve != nil {
+		t.Fatalf("schema-5 artifact grew a serve report: %+v", art.Serve)
+	}
+}
+
+// TestServeLoadSmoke runs the load generator end to end against an
+// in-process loopback server with a tiny workload, checking the artifact
+// section and that every gate passes.
+func TestServeLoadSmoke(t *testing.T) {
+	art := newArtifact(config{repeats: 1})
+	failures := serveLoadRun(art, "", 2, 3, 8)
+	if len(failures) != 0 {
+		t.Fatalf("serve-load gates failed: %v", failures)
+	}
+	if art.Serve == nil {
+		t.Fatal("no serve report recorded")
+	}
+	rep := art.Serve
+	if rep.Tuples != 2*3*8 {
+		t.Errorf("tuples = %d, want %d", rep.Tuples, 2*3*8)
+	}
+	if rep.Requests == 0 || rep.Notifications == 0 {
+		t.Errorf("requests=%d notifications=%d, want non-zero", rep.Requests, rep.Notifications)
+	}
+	if rep.Ingest.Count != 2*3 || rep.Visibility.Count != 2*3 {
+		t.Errorf("histogram counts ingest=%d visibility=%d, want %d", rep.Ingest.Count, rep.Visibility.Count, 2*3)
+	}
+	if rep.Visibility.P50Nanos < rep.Ingest.P50Nanos {
+		t.Errorf("visibility p50 %d < ingest p50 %d: visibility covers ingest", rep.Visibility.P50Nanos, rep.Ingest.P50Nanos)
+	}
+	if data, err := json.Marshal(art); err != nil || !json.Valid(data) {
+		t.Fatalf("artifact with serve report does not marshal: %v", err)
 	}
 }
 

@@ -1,0 +1,206 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/jstar-lang/jstar/internal/lang"
+	"github.com/jstar-lang/jstar/internal/serve"
+	"github.com/jstar-lang/jstar/internal/stats"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// serveLoadSrc is the load-generator workload: pure streaming fan-out, so
+// ingest throughput and boundary latency dominate, not rule complexity.
+const serveLoadSrc = `
+table Event(int n) orderby (Event)
+table Out(int n, int v) orderby (Out)
+order Event < Out
+
+foreach (Event e) {
+  put new Out(e.n, e.n * 2)
+}
+`
+
+// serveReport is the -serve-load section of the BENCH artifact (schema 6):
+// client-observed ingest round-trip and quiesce-visibility latency
+// distributions over real sockets, plus the request/notification counts
+// the CI smoke gates on.
+type serveReport struct {
+	Addr          string `json:"addr"`
+	Clients       int    `json:"clients"`
+	Batches       int    `json:"batches"`   // per client
+	BatchRows     int    `json:"batch_rows"`
+	Tuples        int64  `json:"tuples"`
+	Requests      int64  `json:"requests"`      // successful client requests
+	Notifications int64  `json:"notifications"` // subscription wake-ups observed
+	ElapsedNs     int64  `json:"elapsed_ns"`
+	// Ingest is the PutBatch round-trip: last byte of the batch out →
+	// server ack (tuples published into the ingress ring).
+	Ingest stats.LatencySummary `json:"ingest"`
+	// Visibility is quiesce-visibility: first byte of the batch out →
+	// quiescent boundary covering it confirmed, i.e. when a query is
+	// guaranteed to see the batch.
+	Visibility stats.LatencySummary `json:"visibility"`
+}
+
+// serveLoadRun drives a jstar-serve instance with N concurrent clients
+// over real sockets and fills art.Serve. addr names a running server
+// ("http://host:port"); empty starts one in-process on a loopback socket
+// (still through the full HTTP stack). The returned failures gate CI: a
+// run that serves zero requests, sees zero subscription notifications, or
+// loses tuples fails after the artifact is written.
+func serveLoadRun(art *smokeArtifact, addr string, clients, batches, rows int) []string {
+	fmt.Println("== Serve load (latency histograms) ==")
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf("serve-load gate: "+format, args...))
+	}
+	base := addr
+	var inproc *serve.Server
+	if base == "" {
+		inproc = serve.New(serve.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		must(err)
+		hs := &http.Server{Handler: inproc.Handler()}
+		go hs.Serve(ln)
+		defer func() { hs.Close(); inproc.Close() }()
+		base = "http://" + ln.Addr().String()
+	}
+	prog, err := lang.CompileSource(serveLoadSrc)
+	must(err)
+	eventSch := prog.Schema("Event")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	tenant := fmt.Sprintf("bench-load-%d", os.Getpid())
+	admin := serve.NewClient(base)
+	if _, err := admin.CreateTenant(ctx, serve.TenantConfig{Name: tenant, Source: serveLoadSrc}); err != nil {
+		fail("create tenant: %v", err)
+		return failures
+	}
+	defer admin.CloseTenant(context.Background(), tenant)
+
+	var (
+		ingest, visibility stats.Histogram
+		requests, tuples   int64
+		notifications      int64
+		mu                 sync.Mutex
+		clientErrs         []error
+	)
+	count := func(n int64, dst *int64) {
+		mu.Lock()
+		*dst += n
+		mu.Unlock()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := serve.NewClient(base)
+			sub, err := cl.Subscribe(ctx, tenant, "Out", "")
+			if err != nil {
+				mu.Lock()
+				clientErrs = append(clientErrs, fmt.Errorf("client %d subscribe: %w", c, err))
+				mu.Unlock()
+				return
+			}
+			count(1, &requests)
+			since := sub.Version
+			scratch := make([][]tuple.Value, rows)
+			for b := 0; b < batches; b++ {
+				// Distinct key space per client so every tuple is live.
+				for i := 0; i < rows; i++ {
+					scratch[i] = []tuple.Value{tuple.Int(int64(c)*1_000_000_000 + int64(b*rows+i))}
+				}
+				frames, err := serve.AppendFrame(nil, eventSch, scratch)
+				if err == nil {
+					t0 := time.Now()
+					if err = cl.PutBinary(ctx, tenant, frames); err == nil {
+						ingest.ObserveDuration(time.Since(t0))
+						count(1, &requests)
+						count(int64(rows), &tuples)
+						// Quiesce confirms the batch is query-visible; its
+						// return bounds the batch's visibility latency.
+						if _, err = cl.Quiesce(ctx, tenant); err == nil {
+							visibility.ObserveDuration(time.Since(t0))
+							count(1, &requests)
+						}
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					clientErrs = append(clientErrs, fmt.Errorf("client %d batch %d: %w", c, b, err))
+					mu.Unlock()
+					return
+				}
+				// The boundary we just forced changed Out, so the long-poll
+				// returns immediately with the new generation — the
+				// subscribe half of the smoke round-trip.
+				if v, ok, err := cl.Poll(ctx, tenant, sub.ID, since, 10*time.Second); err == nil && ok {
+					since = v
+					count(1, &requests)
+					count(1, &notifications)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for _, err := range clientErrs {
+		fail("%v", err)
+	}
+	// End-to-end check: every distinct event must have produced its Out
+	// tuple — the served state matches the injected stream.
+	wantOut := int64(clients) * int64(batches) * int64(rows)
+	raw, err := admin.Query(ctx, tenant, "Out", "")
+	if err != nil {
+		fail("final query: %v", err)
+	} else {
+		var outRows [][]any
+		if err := json.Unmarshal(raw, &outRows); err != nil {
+			fail("final query parse: %v", err)
+		} else if int64(len(outRows)) != wantOut {
+			fail("Out has %d rows, want %d", len(outRows), wantOut)
+		}
+		count(1, &requests)
+	}
+	if requests == 0 {
+		fail("zero requests served")
+	}
+	if notifications == 0 {
+		fail("zero subscription notifications delivered")
+	}
+	if inproc != nil && inproc.RequestsServed() == 0 {
+		fail("in-process server measured zero requests")
+	}
+
+	rep := &serveReport{
+		Addr:          base,
+		Clients:       clients,
+		Batches:       batches,
+		BatchRows:     rows,
+		Tuples:        tuples,
+		Requests:      requests,
+		Notifications: notifications,
+		ElapsedNs:     elapsed.Nanoseconds(),
+		Ingest:        ingest.Summary(),
+		Visibility:    visibility.Summary(),
+	}
+	art.Serve = rep
+	fmt.Printf("addr=%s clients=%d batches=%d rows=%d tuples=%d requests=%d notifications=%d elapsed=%v\n",
+		rep.Addr, clients, batches, rows, tuples, requests, notifications, elapsed.Round(time.Millisecond))
+	fmt.Print(stats.LatencyLine("ingest", rep.Ingest))
+	fmt.Print(stats.LatencyLine("visibility", rep.Visibility))
+	fmt.Println()
+	return failures
+}

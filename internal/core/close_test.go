@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/jstar-lang/jstar/internal/exec"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// TestSessionCloseRacesPuts hardens the server's hottest shutdown path:
+// producer goroutines Put/PutBatch full tilt while Close lands mid-stream.
+// Every producer must observe either a clean accept or the documented
+// terminal error — never a panic, a hang, or a non-terminal error — and
+// an accepted put must never be the last event (Close drains or reports).
+func TestSessionCloseRacesPuts(t *testing.T) {
+	for _, strat := range []exec.Strategy{exec.Sequential, exec.ForkJoin, exec.Pipelined} {
+		t.Run(strat.String(), func(t *testing.T) {
+			p, ev, _ := sessionProgram()
+			s, err := p.Start(context.Background(), Options{
+				Strategy: strat, Threads: 4, IngressRing: 64, Quiet: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const producers = 6
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for g := 0; g < producers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						n := int64(g*1_000_000 + i)
+						var err error
+						if i%3 == 0 {
+							err = s.PutBatch(
+								tuple.New(ev, tuple.Int(n)),
+								tuple.New(ev, tuple.Int(n+500_000)))
+						} else {
+							err = s.Put(tuple.New(ev, tuple.Int(n)))
+						}
+						if err != nil {
+							if !errors.Is(err, ErrSessionClosed) {
+								t.Errorf("producer %d: non-terminal error %v", g, err)
+							}
+							return
+						}
+					}
+				}(g)
+			}
+			// Let the producers collide with a live drain, then close.
+			time.Sleep(20 * time.Millisecond)
+			if err := s.Close(); err != nil {
+				t.Errorf("Close = %v", err)
+			}
+			close(stop)
+			wg.Wait()
+			// After Close every ingestion surface reports the terminal state.
+			if err := s.Put(tuple.New(ev, tuple.Int(-1))); !errors.Is(err, ErrSessionClosed) {
+				t.Errorf("Put after Close = %v, want ErrSessionClosed", err)
+			}
+			if err := s.PutBatch(tuple.New(ev, tuple.Int(-2))); !errors.Is(err, ErrSessionClosed) {
+				t.Errorf("PutBatch after Close = %v, want ErrSessionClosed", err)
+			}
+			if err := s.Quiesce(context.Background()); !errors.Is(err, ErrSessionClosed) {
+				t.Errorf("Quiesce after Close = %v, want ErrSessionClosed", err)
+			}
+		})
+	}
+}
+
+// TestSessionDoubleClose: Close is documented idempotent — a second (and
+// concurrent) Close returns the same terminal error, nil for a clean stop.
+func TestSessionDoubleClose(t *testing.T) {
+	p, ev, _ := sessionProgram()
+	s, err := p.Start(context.Background(), Options{Sequential: true, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(tuple.New(ev, tuple.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quiesce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const closers = 8
+	errs := make(chan error, closers)
+	var wg sync.WaitGroup
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- s.Close()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("concurrent Close = %v, want nil after clean stop", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close after Close = %v, want nil", err)
+	}
+}
+
+// TestSessionCloseUnblocksFullRing: producers gated on a saturated ingress
+// ring must be released by Close with the terminal error, not stranded.
+func TestSessionCloseUnblocksFullRing(t *testing.T) {
+	p, ev, _ := sessionProgram()
+	s, err := p.Start(context.Background(), Options{
+		Sequential: true, Quiet: true, IngressRing: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch far larger than the ring forces the producer to gate on
+	// ring space mid-publish.
+	batch := make([]*tuple.Tuple, 4096)
+	for i := range batch {
+		batch[i] = tuple.New(ev, tuple.Int(int64(i)))
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.PutBatch(batch...) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		// nil (fully absorbed before close) or the terminal error are the
+		// only acceptable answers.
+		if err != nil && !errors.Is(err, ErrSessionClosed) {
+			t.Errorf("gated PutBatch = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PutBatch stranded on a full ring across Close")
+	}
+}

@@ -124,6 +124,18 @@ type RunStats struct {
 	MergeNanos  int64
 	DeltaNanos  int64
 
+	// TableVersions is the per-table quiesced-change generation: the
+	// counter for table T is incremented at a quiescent boundary when T's
+	// Gamma contents changed since the previous quiescent boundary (any
+	// step of the interval inserted a live tuple — tracked by the
+	// engine's per-table step-dirty bitset, so idle tables cost nothing).
+	// It is the notification source of the serve layer's query
+	// subscriptions: a subscriber remembers the generation it last saw
+	// and is woken when the counter passes it (Session.WaitChange).
+	// Written only by the coordinator, but atomic so subscribers may read
+	// it at any time. -noGamma tables have no Gamma state and stay at 0.
+	TableVersions map[string]*atomic.Int64
+
 	// IngressShards is the number of ingress ring lanes the session built
 	// (0 when the run never ingested external tuples); ShardAbsorbed counts
 	// the events absorbed from each lane — together they expose ingestion
@@ -315,6 +327,17 @@ type Run struct {
 	statsByID []*TableStats
 	rulesByID [][]*Rule
 
+	// dirtyByID is the per-table step-dirty bitset: flag i is set when a
+	// live tuple of schema i entered Gamma since the last quiescent
+	// boundary (beginStep's insert groups; the -noDelta inline insert
+	// path). foldDirty swaps the flags out at quiescence and bumps the
+	// matching TableVersions generations — the Delta-side change tracking
+	// behind query subscriptions. Atomic because -noDelta inserts run on
+	// worker goroutines; a plain Store suffices (no read-modify-write).
+	dirtyByID []atomic.Bool
+	// versionByID aliases stats.TableVersions by dense schema ID.
+	versionByID []*atomic.Int64
+
 	out     outputBuffer
 	stats   RunStats
 	failMu  chan struct{} // buffered(1); first rule panic wins
@@ -389,6 +412,9 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 	for _, t := range opts.NoGamma {
 		r.noGamma[p.tables[t].ID()] = true
 	}
+	r.dirtyByID = make([]atomic.Bool, n)
+	r.versionByID = make([]*atomic.Int64, n)
+	r.stats.TableVersions = make(map[string]*atomic.Int64, n)
 	r.stats.Tables = make(map[string]*TableStats, n)
 	r.stats.StoreKinds = make(map[string]string, n)
 	r.stats.schemas = make(map[string]*tuple.Schema, n)
@@ -403,6 +429,9 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 		}
 		r.stats.StoreKinds[s.Name] = gamma.KindOf(r.gammaDB.Table(s))
 		r.stats.schemas[s.Name] = s
+		v := &atomic.Int64{}
+		r.stats.TableVersions[s.Name] = v
+		r.versionByID[s.ID()] = v
 		if r.noGamma[s.ID()] {
 			r.stats.noGamma[s.Name] = true
 		}
@@ -668,6 +697,9 @@ func (r *Run) beginStep(batch []*tuple.Tuple) []*tuple.Tuple {
 		// discarded and their rules do not re-fire.
 		live := gamma.InsertBatch(r.gammaDB.Table(s), group, group[:0:len(group)])
 		g.kept = len(live)
+		if g.kept > 0 {
+			r.dirtyByID[id].Store(true)
+		}
 		if dups := len(group) - g.kept; dups > 0 {
 			r.statsByID[id].Duplicates.Add(int64(dups))
 		}
@@ -803,6 +835,23 @@ func (r *Run) endStep() {
 	if r.phaseClock {
 		r.stats.DeltaNanos += time.Since(deltaStart).Nanoseconds()
 	}
+}
+
+// foldDirty drains the per-table step-dirty bitset accumulated since the
+// previous quiescent boundary, bumping the change generation of every
+// table whose Gamma contents changed, and reports whether any did. Called
+// only by the session coordinator at a quiescent boundary (before waking
+// Quiesce waiters, so a woken subscriber always observes the new
+// generations).
+func (r *Run) foldDirty() bool {
+	any := false
+	for i := range r.dirtyByID {
+		if r.dirtyByID[i].Swap(false) {
+			r.versionByID[i].Add(1)
+			any = true
+		}
+	}
+	return any
 }
 
 // runActions performs registered external actions for the batch's tuples.
@@ -964,6 +1013,7 @@ func (r *Run) put(ruleName string, from *tuple.Tuple, t *tuple.Tuple, slot int) 
 				st.Duplicates.Add(1)
 				return
 			}
+			r.dirtyByID[id].Store(true)
 		}
 		r.fire(t, slot)
 		return

@@ -305,9 +305,11 @@ func (s *Session) fail(err error) {
 }
 
 // markQuiescent records that the Delta set and ingress ring were both
-// drained, snapshots how far ingestion has been absorbed, and wakes
-// Quiesce waiters.
+// drained, snapshots how far ingestion has been absorbed, bumps the
+// change generation of every table whose Gamma state changed since the
+// previous quiescence, and wakes Quiesce/WaitChange waiters.
 func (s *Session) markQuiescent() {
+	s.run.foldDirty()
 	s.mu.Lock()
 	s.quiescent = true
 	if ing := s.ing.Load(); ing != nil {
@@ -547,6 +549,69 @@ func (s *Session) Snapshot(sch *tuple.Schema) []*tuple.Tuple {
 		return true
 	})
 	return out
+}
+
+// TableVersion returns table's current quiesced-change generation: a
+// counter incremented at each quiescent boundary where the table's Gamma
+// contents changed (see RunStats.TableVersions). It errors on unknown
+// tables. Safe to call at any time; the value only moves at quiescent
+// boundaries, so it always names a quiesced state.
+func (s *Session) TableVersion(table string) (int64, error) {
+	sch := s.run.prog.tables[table]
+	if sch == nil {
+		return 0, fmt.Errorf("jstar: table version %s: unknown table (declared: %s)", table, s.run.prog.knownTables())
+	}
+	return s.run.versionByID[sch.ID()].Load(), nil
+}
+
+// WaitChange blocks until table's quiesced-change generation exceeds
+// since, returning the new generation — the primitive behind query
+// subscriptions: a subscriber records the generation at registration and
+// re-queries each time WaitChange returns. It returns ctx's error on
+// cancellation/deadline and the session's terminal error if it fails or
+// closes first; generations are never skipped silently (a return of g
+// covers every change up to g, so a subscriber polling since=g misses
+// nothing and is never woken for a phantom change). Tables in
+// Options.NoGamma have no queryable state and never change.
+func (s *Session) WaitChange(ctx context.Context, table string, since int64) (int64, error) {
+	sch := s.run.prog.tables[table]
+	if sch == nil {
+		return 0, fmt.Errorf("jstar: wait change %s: unknown table (declared: %s)", table, s.run.prog.knownTables())
+	}
+	v := s.run.versionByID[sch.ID()]
+	for {
+		if cur := v.Load(); cur > since {
+			return cur, nil
+		}
+		s.mu.Lock()
+		if s.err != nil {
+			err := s.err
+			s.mu.Unlock()
+			return v.Load(), err
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return v.Load(), ErrSessionClosed
+		}
+		ch := s.qGen
+		s.mu.Unlock()
+		// Re-check after arming: the coordinator bumps generations before
+		// closing qGen, so a bump between the first load and here is
+		// caught either by this load or by the channel close.
+		if cur := v.Load(); cur > since {
+			return cur, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return v.Load(), ctx.Err()
+		case <-s.loopDone:
+			if err := s.gate(); err != nil {
+				return v.Load(), err
+			}
+			return v.Load(), ErrSessionClosed
+		}
+	}
 }
 
 // Stats returns the run statistics. Read them only at quiescence (after

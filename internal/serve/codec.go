@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// Wire formats of the ingestion endpoint. JSON is the debuggable default;
+// the binary batch format is the fast path: length-prefixed frames decoded
+// straight into Session.PutBatch with a reused scratch row (tuple.New
+// copies its fields, so the decoder allocates no per-tuple intermediates
+// beyond the tuple itself).
+//
+//	frame = u8 nameLen | name | u32le rowCount | rowCount rows
+//	row   = one field per schema column, in declaration order:
+//	          int    8 bytes little-endian two's complement
+//	          float  8 bytes little-endian IEEE-754
+//	          bool   1 byte (0 or 1)
+//	          string u32le byteLen | bytes
+//
+// A stream is any number of frames back to back; clean EOF between frames
+// ends it. Frames may repeat tables and may interleave.
+const (
+	// BinaryContentType selects the binary batch format on the put endpoint.
+	BinaryContentType = "application/x-jstar-batch"
+	// JSONContentType selects the JSON put format: {"table": T, "rows": [[...], ...]}.
+	JSONContentType = "application/json"
+
+	// maxWireString caps a single string field on the wire (16 MiB) so a
+	// corrupt length prefix cannot ask the decoder for gigabytes.
+	maxWireString = 16 << 20
+	// ingestFlushRows is how many decoded tuples accumulate before the
+	// decoder flushes them into Session.PutBatch, bounding memory for
+	// arbitrarily long streams.
+	ingestFlushRows = 512
+)
+
+// AppendFrame appends one binary batch frame for sch holding rows to dst
+// and returns the extended slice. Each row must match the schema's arity
+// and column kinds; this is the client/load-generator side of the codec.
+func AppendFrame(dst []byte, sch *tuple.Schema, rows [][]tuple.Value) ([]byte, error) {
+	if len(sch.Name) > 255 {
+		return dst, fmt.Errorf("serve: table name %q exceeds 255 bytes", sch.Name)
+	}
+	dst = append(dst, byte(len(sch.Name)))
+	dst = append(dst, sch.Name...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rows)))
+	for _, row := range rows {
+		if len(row) != sch.Arity() {
+			return dst, fmt.Errorf("serve: row arity %d != %s arity %d", len(row), sch.Name, sch.Arity())
+		}
+		for i, col := range sch.Columns {
+			v := row[i]
+			if v.Kind() != col.Kind {
+				return dst, fmt.Errorf("serve: %s.%s: field kind %v, want %v", sch.Name, col.Name, v.Kind(), col.Kind)
+			}
+			switch col.Kind {
+			case tuple.KindInt:
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(v.AsInt()))
+			case tuple.KindFloat:
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.AsFloat()))
+			case tuple.KindBool:
+				b := byte(0)
+				if v.AsBool() {
+					b = 1
+				}
+				dst = append(dst, b)
+			case tuple.KindString:
+				s := v.AsString()
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+				dst = append(dst, s...)
+			default:
+				return dst, fmt.Errorf("serve: %s.%s: unsupported kind %v", sch.Name, col.Name, col.Kind)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// binaryIngest decodes a binary batch stream from r, flushing decoded
+// tuples into put in chunks of ingestFlushRows. It returns the tuple count
+// absorbed. The scratch row is reused across tuples.
+func binaryIngest(r io.Reader, prog *core.Program, put func(...*tuple.Tuple) error) (int64, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var (
+		scratch []tuple.Value
+		strbuf  []byte
+		batch   = make([]*tuple.Tuple, 0, ingestFlushRows)
+		nameBuf [255]byte
+		total   int64
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := put(batch...); err != nil {
+			return err
+		}
+		total += int64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		nameLen, err := br.ReadByte()
+		if err == io.EOF {
+			return total, flush()
+		}
+		if err != nil {
+			return total, err
+		}
+		name := nameBuf[:nameLen]
+		if _, err := io.ReadFull(br, name); err != nil {
+			return total, fmt.Errorf("serve: truncated frame header: %w", err)
+		}
+		sch := prog.Schema(string(name))
+		if sch == nil {
+			return total, fmt.Errorf("serve: frame for unknown table %q", name)
+		}
+		var cntBuf [4]byte
+		if _, err := io.ReadFull(br, cntBuf[:]); err != nil {
+			return total, fmt.Errorf("serve: truncated frame header: %w", err)
+		}
+		rowCount := binary.LittleEndian.Uint32(cntBuf[:])
+		if cap(scratch) < sch.Arity() {
+			scratch = make([]tuple.Value, sch.Arity())
+		}
+		scratch = scratch[:sch.Arity()]
+		for row := uint32(0); row < rowCount; row++ {
+			for i, col := range sch.Columns {
+				switch col.Kind {
+				case tuple.KindInt:
+					var b [8]byte
+					if _, err := io.ReadFull(br, b[:]); err != nil {
+						return total, fmt.Errorf("serve: truncated %s row: %w", sch.Name, err)
+					}
+					scratch[i] = tuple.Int(int64(binary.LittleEndian.Uint64(b[:])))
+				case tuple.KindFloat:
+					var b [8]byte
+					if _, err := io.ReadFull(br, b[:]); err != nil {
+						return total, fmt.Errorf("serve: truncated %s row: %w", sch.Name, err)
+					}
+					scratch[i] = tuple.Float(math.Float64frombits(binary.LittleEndian.Uint64(b[:])))
+				case tuple.KindBool:
+					b, err := br.ReadByte()
+					if err != nil {
+						return total, fmt.Errorf("serve: truncated %s row: %w", sch.Name, err)
+					}
+					scratch[i] = tuple.Bool(b != 0)
+				case tuple.KindString:
+					var b [4]byte
+					if _, err := io.ReadFull(br, b[:]); err != nil {
+						return total, fmt.Errorf("serve: truncated %s row: %w", sch.Name, err)
+					}
+					n := binary.LittleEndian.Uint32(b[:])
+					if n > maxWireString {
+						return total, fmt.Errorf("serve: %s string field of %d bytes exceeds limit", sch.Name, n)
+					}
+					if cap(strbuf) < int(n) {
+						strbuf = make([]byte, n)
+					}
+					strbuf = strbuf[:n]
+					if _, err := io.ReadFull(br, strbuf); err != nil {
+						return total, fmt.Errorf("serve: truncated %s row: %w", sch.Name, err)
+					}
+					scratch[i] = tuple.String_(string(strbuf))
+				default:
+					return total, fmt.Errorf("serve: %s.%s: unsupported kind", sch.Name, col.Name)
+				}
+			}
+			batch = append(batch, tuple.New(sch, scratch...))
+			if len(batch) == ingestFlushRows {
+				if err := flush(); err != nil {
+					return total, err
+				}
+			}
+		}
+	}
+}
+
+// jsonPut is the body of a JSON ingestion request.
+type jsonPut struct {
+	Table string            `json:"table"`
+	Rows  []json.RawMessage `json:"rows"`
+}
+
+// jsonIngest decodes a JSON put body and flushes it into put, returning
+// the tuple count absorbed.
+func jsonIngest(r io.Reader, prog *core.Program, put func(...*tuple.Tuple) error) (int64, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var body jsonPut
+	if err := dec.Decode(&body); err != nil {
+		return 0, fmt.Errorf("serve: bad put body: %w", err)
+	}
+	sch := prog.Schema(body.Table)
+	if sch == nil {
+		return 0, fmt.Errorf("serve: put to unknown table %q", body.Table)
+	}
+	var (
+		total   int64
+		scratch = make([]tuple.Value, sch.Arity())
+		batch   = make([]*tuple.Tuple, 0, ingestFlushRows)
+	)
+	for _, raw := range body.Rows {
+		if err := rowFromJSON(sch, raw, scratch); err != nil {
+			return total, err
+		}
+		batch = append(batch, tuple.New(sch, scratch...))
+		if len(batch) == ingestFlushRows {
+			if err := put(batch...); err != nil {
+				return total, err
+			}
+			total += int64(len(batch))
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := put(batch...); err != nil {
+			return total, err
+		}
+		total += int64(len(batch))
+	}
+	return total, nil
+}
+
+// rowFromJSON decodes one JSON array row into dst following sch's kinds.
+func rowFromJSON(sch *tuple.Schema, raw json.RawMessage, dst []tuple.Value) error {
+	dec := json.NewDecoder(bytesReader(raw))
+	dec.UseNumber()
+	var cells []any
+	if err := dec.Decode(&cells); err != nil {
+		return fmt.Errorf("serve: bad row for %s: %w", sch.Name, err)
+	}
+	if len(cells) != sch.Arity() {
+		return fmt.Errorf("serve: row arity %d != %s arity %d", len(cells), sch.Name, sch.Arity())
+	}
+	for i, col := range sch.Columns {
+		v, err := valueFromJSON(col.Kind, cells[i])
+		if err != nil {
+			return fmt.Errorf("serve: %s.%s: %w", sch.Name, col.Name, err)
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+// valueFromJSON converts one decoded JSON cell to a tuple.Value of kind k.
+func valueFromJSON(k tuple.Kind, cell any) (tuple.Value, error) {
+	switch k {
+	case tuple.KindInt:
+		n, ok := cell.(json.Number)
+		if !ok {
+			return tuple.Value{}, fmt.Errorf("want int, got %T", cell)
+		}
+		i, err := n.Int64()
+		if err != nil {
+			return tuple.Value{}, err
+		}
+		return tuple.Int(i), nil
+	case tuple.KindFloat:
+		n, ok := cell.(json.Number)
+		if !ok {
+			return tuple.Value{}, fmt.Errorf("want float, got %T", cell)
+		}
+		f, err := n.Float64()
+		if err != nil {
+			return tuple.Value{}, err
+		}
+		return tuple.Float(f), nil
+	case tuple.KindString:
+		s, ok := cell.(string)
+		if !ok {
+			return tuple.Value{}, fmt.Errorf("want string, got %T", cell)
+		}
+		return tuple.String_(s), nil
+	case tuple.KindBool:
+		b, ok := cell.(bool)
+		if !ok {
+			return tuple.Value{}, fmt.Errorf("want bool, got %T", cell)
+		}
+		return tuple.Bool(b), nil
+	}
+	return tuple.Value{}, fmt.Errorf("unsupported kind %v", k)
+}
+
+// bytesReader avoids importing bytes just for NewReader in one spot.
+func bytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// RowsJSON renders tuples as a canonical JSON array of row arrays, sorted
+// by field order so the bytes are deterministic for a given tuple set —
+// the representation both the query endpoint and the in-process side of
+// the parity test use. Ints render as decimal, floats via strconv 'g',
+// strings JSON-escaped, bools as true/false.
+func RowsJSON(rows []*tuple.Tuple) []byte {
+	sorted := make([]*tuple.Tuple, len(rows))
+	copy(sorted, rows)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CompareFields(sorted[j]) < 0 })
+	out := []byte{'['}
+	for ri, t := range sorted {
+		if ri > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, '[')
+		for i := 0; i < t.Schema().Arity(); i++ {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			v := t.Field(i)
+			switch v.Kind() {
+			case tuple.KindInt:
+				out = strconv.AppendInt(out, v.AsInt(), 10)
+			case tuple.KindFloat:
+				out = strconv.AppendFloat(out, v.AsFloat(), 'g', -1, 64)
+			case tuple.KindBool:
+				out = strconv.AppendBool(out, v.AsBool())
+			case tuple.KindString:
+				q, _ := json.Marshal(v.AsString())
+				out = append(out, q...)
+			}
+		}
+		out = append(out, ']')
+	}
+	return append(out, ']')
+}
+
+// prefixFromJSON decodes a query prefix (JSON array) against sch's leading
+// column kinds.
+func prefixFromJSON(sch *tuple.Schema, raw string) ([]tuple.Value, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	dec := json.NewDecoder(bytesReader([]byte(raw)))
+	dec.UseNumber()
+	var cells []any
+	if err := dec.Decode(&cells); err != nil {
+		return nil, fmt.Errorf("serve: bad prefix: %w", err)
+	}
+	if len(cells) > sch.Arity() {
+		return nil, fmt.Errorf("serve: prefix of %d values exceeds %s arity %d", len(cells), sch.Name, sch.Arity())
+	}
+	vals := make([]tuple.Value, len(cells))
+	for i, cell := range cells {
+		v, err := valueFromJSON(sch.Columns[i].Kind, cell)
+		if err != nil {
+			return nil, fmt.Errorf("serve: prefix[%d]: %w", i, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}

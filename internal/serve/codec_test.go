@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// codecProgram declares one table of every supported kind.
+func codecProgram() *core.Program {
+	p := core.NewProgram()
+	p.Table("Mixed", []tuple.Column{
+		{Name: "i", Kind: tuple.KindInt},
+		{Name: "f", Kind: tuple.KindFloat},
+		{Name: "s", Kind: tuple.KindString},
+		{Name: "b", Kind: tuple.KindBool},
+	}, []tuple.OrderEntry{tuple.Lit("Mixed")})
+	return p
+}
+
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	prog := codecProgram()
+	sch := prog.Schema("Mixed")
+	rows := [][]tuple.Value{
+		{tuple.Int(-42), tuple.Float(3.25), tuple.String_("héllo, wörld"), tuple.Bool(true)},
+		{tuple.Int(1 << 40), tuple.Float(-0.5), tuple.String_(""), tuple.Bool(false)},
+	}
+	// Two frames back to back for the same table.
+	frames, err := AppendFrame(nil, sch, rows[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err = AppendFrame(frames, sch, rows[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*tuple.Tuple
+	n, err := binaryIngest(bytesReader(frames), prog, func(ts ...*tuple.Tuple) error {
+		got = append(got, ts...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("decoded %d tuples (%d flushed), want 2", len(got), n)
+	}
+	for ri, row := range rows {
+		for i, want := range row {
+			if !got[ri].Field(i).Equal(want) {
+				t.Errorf("row %d field %d = %v, want %v", ri, i, got[ri].Field(i), want)
+			}
+		}
+	}
+}
+
+func TestBinaryIngestFlushesLongStreams(t *testing.T) {
+	prog := codecProgram()
+	sch := prog.Schema("Mixed")
+	const rows = ingestFlushRows*2 + 7
+	var frames []byte
+	var err error
+	for i := 0; i < rows; i++ {
+		frames, err = AppendFrame(frames, sch, [][]tuple.Value{{
+			tuple.Int(int64(i)), tuple.Float(0), tuple.String_("x"), tuple.Bool(false),
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var flushes, total int
+	n, err := binaryIngest(bytesReader(frames), prog, func(ts ...*tuple.Tuple) error {
+		flushes++
+		total += len(ts)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != rows || total != rows {
+		t.Fatalf("absorbed %d/%d, want %d", n, total, rows)
+	}
+	if flushes < 3 {
+		t.Errorf("flushes = %d, want chunked (>= 3)", flushes)
+	}
+}
+
+func TestBinaryIngestErrors(t *testing.T) {
+	prog := codecProgram()
+	sch := prog.Schema("Mixed")
+	frames, err := AppendFrame(nil, sch, [][]tuple.Value{{
+		tuple.Int(1), tuple.Float(1), tuple.String_("a"), tuple.Bool(true),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"unknown table":  append([]byte{4, 'N', 'o', 'p', 'e'}, 0, 0, 0, 0),
+		"truncated row":  frames[:len(frames)-3],
+		"truncated name": {200, 'x'},
+	}
+	for name, stream := range cases {
+		if _, err := binaryIngest(bytesReader(stream), prog, func(...*tuple.Tuple) error { return nil }); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestJSONIngestKindChecks(t *testing.T) {
+	prog := codecProgram()
+	put := func(...*tuple.Tuple) error { return nil }
+	ok := `{"table":"Mixed","rows":[[1, 2.5, "s", true]]}`
+	if n, err := jsonIngest(strings.NewReader(ok), prog, put); err != nil || n != 1 {
+		t.Fatalf("valid row: n=%d err=%v", n, err)
+	}
+	for name, body := range map[string]string{
+		"wrong kind":    `{"table":"Mixed","rows":[["not-int", 2.5, "s", true]]}`,
+		"short row":     `{"table":"Mixed","rows":[[1, 2.5]]}`,
+		"unknown table": `{"table":"Nope","rows":[[1]]}`,
+		"not json":      `{{{`,
+	} {
+		if _, err := jsonIngest(strings.NewReader(body), prog, put); err == nil {
+			t.Errorf("%s: ingested without error", name)
+		}
+	}
+}
+
+func TestRowsJSONDeterministic(t *testing.T) {
+	prog := codecProgram()
+	sch := prog.Schema("Mixed")
+	a := tuple.New(sch, tuple.Int(2), tuple.Float(1.5), tuple.String_("b"), tuple.Bool(false))
+	b := tuple.New(sch, tuple.Int(1), tuple.Float(0.25), tuple.String_("a \"q\""), tuple.Bool(true))
+	fwd := RowsJSON([]*tuple.Tuple{a, b})
+	rev := RowsJSON([]*tuple.Tuple{b, a})
+	if string(fwd) != string(rev) {
+		t.Errorf("RowsJSON depends on input order:\n%s\n%s", fwd, rev)
+	}
+	want := `[[1,0.25,"a \"q\"",true],[2,1.5,"b",false]]`
+	if string(fwd) != want {
+		t.Errorf("RowsJSON = %s, want %s", fwd, want)
+	}
+	if got := string(RowsJSON(nil)); got != "[]" {
+		t.Errorf("empty RowsJSON = %s, want []", got)
+	}
+}
+
+func TestPrefixFromJSON(t *testing.T) {
+	prog := codecProgram()
+	sch := prog.Schema("Mixed")
+	vals, err := prefixFromJSON(sch, `[7, 1.5]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0].AsInt() != 7 || vals[1].AsFloat() != 1.5 {
+		t.Fatalf("prefix = %v", vals)
+	}
+	if vals, err := prefixFromJSON(sch, ""); err != nil || vals != nil {
+		t.Fatalf("empty prefix: %v %v", vals, err)
+	}
+	for name, raw := range map[string]string{
+		"too long":   `[1,2,"s",true,5]`,
+		"wrong kind": `["s"]`,
+		"not array":  `{"a":1}`,
+	} {
+		if _, err := prefixFromJSON(sch, raw); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

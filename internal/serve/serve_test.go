@@ -1,0 +1,586 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/exec"
+	"github.com/jstar-lang/jstar/internal/gamma"
+	"github.com/jstar-lang/jstar/internal/lang"
+	"github.com/jstar-lang/jstar/internal/serve"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// The two parity apps. Both are driven entirely by external puts, so the
+// same event stream can feed a wire session and an in-process session.
+
+// doubleSrc fans every Event(n) out to Out(n, 2n) — order-free ingestion.
+const doubleSrc = `
+table Event(int n) orderby (Event)
+table Out(int n, int v) orderby (Out)
+order Event < Out
+
+foreach (Event e) {
+  put new Out(e.n, e.n * 2)
+}
+`
+
+// dijkstraSrc is the paper's §1.2 shortest path with the graph and source
+// estimate supplied externally — exercises seq ordering and uniq queries
+// behind the wire.
+const dijkstraSrc = `
+table Edge(int from, int to, int value) orderby (Edge)
+table Estimate(int vertex, int distance) orderby (Int, seq distance, Estimate)
+table Done(int vertex -> int distance) orderby (Int, seq distance, Done)
+order Edge < Int
+order Estimate < Done
+
+foreach (Estimate dist) {
+  if (get uniq? Done(dist.vertex, [distance < dist.distance]) == null) {
+    put new Done(dist.vertex, dist.distance)
+    for (edge : get Edge(dist.vertex)) {
+      if (get uniq? Done(edge.to) == null) {
+        put new Estimate(edge.to, dist.distance + edge.value)
+      }
+    }
+  }
+}
+`
+
+// event is one externally injected tuple, table + int fields.
+type event struct {
+	table string
+	vals  []int64
+}
+
+func doubleEvents(n int) []event {
+	evs := make([]event, 0, n)
+	for i := 0; i < n; i++ {
+		evs = append(evs, event{"Event", []int64{int64(i)}})
+	}
+	return evs
+}
+
+func dijkstraEvents() []event {
+	return []event{
+		{"Edge", []int64{0, 2, 2}},
+		{"Edge", []int64{2, 1, 3}},
+		{"Edge", []int64{1, 3, 1}},
+		{"Edge", []int64{0, 3, 9}},
+		{"Edge", []int64{3, 4, 1}},
+		{"Estimate", []int64{0, 0}},
+	}
+}
+
+// runInProcess drives src with evs through a plain in-process Session and
+// returns each table's canonical rows JSON.
+func runInProcess(t *testing.T, src, strategy string, evs []event, tables []string) map[string][]byte {
+	t.Helper()
+	prog, err := lang.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Quiet: true}
+	if strategy != "" {
+		st, err := exec.ParseStrategy(strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Strategy = st
+	}
+	sess, err := prog.Start(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for _, ev := range evs {
+		sch := prog.Schema(ev.table)
+		fields := make([]tuple.Value, len(ev.vals))
+		for i, v := range ev.vals {
+			fields[i] = tuple.Int(v)
+		}
+		if err := sess.PutBatch(tuple.New(sch, fields...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Quiesce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte)
+	for _, name := range tables {
+		sch := prog.Schema(name)
+		var rows []*tuple.Tuple
+		sess.Query(sch, gamma.Query{}, func(tp *tuple.Tuple) bool {
+			rows = append(rows, tp)
+			return true
+		})
+		out[name] = serve.RowsJSON(rows)
+	}
+	return out
+}
+
+// binaryFrames encodes evs grouped into per-event frames (worst case:
+// maximal frame count) using the wire codec.
+func binaryFrames(t *testing.T, prog *core.Program, evs []event) []byte {
+	t.Helper()
+	var out []byte
+	for _, ev := range evs {
+		sch := prog.Schema(ev.table)
+		row := make([]tuple.Value, len(ev.vals))
+		for i, v := range ev.vals {
+			row[i] = tuple.Int(v)
+		}
+		var err error
+		out, err = serve.AppendFrame(out, sch, [][]tuple.Value{row})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func jsonRows(evs []event, table string) [][]any {
+	var rows [][]any
+	for _, ev := range evs {
+		if ev.table != table {
+			continue
+		}
+		row := make([]any, len(ev.vals))
+		for i, v := range ev.vals {
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *serve.Client) {
+	t.Helper()
+	srv := serve.New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return srv, serve.NewClient(hs.URL)
+}
+
+// TestServeParity is the tentpole acceptance test: the same event stream
+// through the wire (PutBatch → Quiesce → Query over real sockets) and
+// through an in-process Session must produce byte-identical canonical
+// rows, for two apps and all three strategies.
+func TestServeParity(t *testing.T) {
+	apps := []struct {
+		name   string
+		src    string
+		evs    []event
+		tables []string
+	}{
+		{"double", doubleSrc, doubleEvents(200), []string{"Event", "Out"}},
+		{"dijkstra", dijkstraSrc, dijkstraEvents(), []string{"Edge", "Estimate", "Done"}},
+	}
+	for _, app := range apps {
+		for _, strategy := range []string{"seq", "forkjoin", "pipelined"} {
+			t.Run(app.name+"/"+strategy, func(t *testing.T) {
+				_, client := newTestServer(t, serve.Config{})
+				ctx := context.Background()
+				tenant := app.name + "-" + strategy
+				if _, err := client.CreateTenant(ctx, serve.TenantConfig{
+					Name: tenant, Source: app.src, Strategy: strategy,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				// Half the stream over the binary codec, half over JSON, so
+				// both wire formats are on the parity path.
+				prog, err := lang.CompileSource(app.src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				half := len(app.evs) / 2
+				if half > 0 {
+					if err := client.PutBinary(ctx, tenant, binaryFrames(t, prog, app.evs[:half])); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for _, table := range app.tables {
+					rows := jsonRows(app.evs[half:], table)
+					if len(rows) == 0 {
+						continue
+					}
+					if err := client.PutJSON(ctx, tenant, table, rows); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if _, err := client.Quiesce(ctx, tenant); err != nil {
+					t.Fatal(err)
+				}
+				want := inProcessRows(t, app.src, strategy, app.evs, app.tables)
+				for _, table := range app.tables {
+					got, err := client.Query(ctx, tenant, table, "")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want[table]) {
+						t.Errorf("%s: wire rows != in-process rows\n wire: %s\n proc: %s",
+							table, got, want[table])
+					}
+				}
+				if err := client.CloseTenant(ctx, tenant); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// inProcessRows mirrors the wire run with a local Session.
+func inProcessRows(t *testing.T, src, strategy string, evs []event, tables []string) map[string][]byte {
+	t.Helper()
+	return runInProcess(t, src, strategy, evs, tables)
+}
+
+// TestServePrefixQuery checks prefix decoding and filtering over the wire.
+func TestServePrefixQuery(t *testing.T) {
+	_, client := newTestServer(t, serve.Config{})
+	ctx := context.Background()
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "t", Source: dijkstraSrc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutJSON(ctx, "t", "Edge", [][]any{{0, 1, 5}, {0, 2, 7}, {1, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Quiesce(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Query(ctx, "t", "Edge", "[0]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `[[0,1,5],[0,2,7]]`; string(got) != want {
+		t.Errorf("prefix query = %s, want %s", got, want)
+	}
+}
+
+// TestServeSubscription drives the long-poll path: a subscriber registered
+// mid-run is woken once per change and not woken without one.
+func TestServeSubscription(t *testing.T) {
+	_, client := newTestServer(t, serve.Config{})
+	ctx := context.Background()
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "t", Source: doubleSrc}); err != nil {
+		t.Fatal(err)
+	}
+	// Establish some pre-subscription history the subscriber must not see.
+	if err := client.PutJSON(ctx, "t", "Event", [][]any{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Quiesce(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := client.Subscribe(ctx, "t", "Out", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No change since registration: the poll must time out, not fire.
+	if _, ok, err := client.Poll(ctx, "t", sub.ID, sub.Version, 150*time.Millisecond); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("phantom notification: poll fired with no change")
+	}
+	since := sub.Version
+	for i := 0; i < 3; i++ {
+		if err := client.PutJSON(ctx, "t", "Event", [][]any{{100 + i}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Quiesce(ctx, "t"); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := client.Poll(ctx, "t", sub.ID, since, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("missed notification after change %d", i)
+		}
+		if v != since+1 {
+			t.Fatalf("poll %d returned version %d, want %d", i, v, since+1)
+		}
+		since = v
+	}
+	// A duplicate put changes nothing in Gamma: no notification.
+	if err := client.PutJSON(ctx, "t", "Event", [][]any{{100}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Quiesce(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := client.Poll(ctx, "t", sub.ID, since, 150*time.Millisecond); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("phantom notification: duplicate put bumped the version")
+	}
+	if err := client.Unsubscribe(ctx, "t", sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Poll(ctx, "t", sub.ID, since, time.Second); !serve.IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("poll after unsubscribe: err = %v, want 404", err)
+	}
+}
+
+// TestServeSSE streams change events while another client ingests.
+func TestServeSSE(t *testing.T) {
+	_, client := newTestServer(t, serve.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "t", Source: doubleSrc}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := client.Subscribe(ctx, "t", "Out", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan serve.SSEEvent, 16)
+	streamDone := make(chan error, 1)
+	go func() {
+		streamDone <- client.Events(ctx, "t", sub.ID, func(ev serve.SSEEvent) bool {
+			events <- ev
+			return ev.Event != "change" || ev.Version < 2
+		})
+	}()
+	// First event is the hello with the registration version.
+	ev := <-events
+	if ev.Event != "hello" {
+		t.Fatalf("first SSE event = %q, want hello", ev.Event)
+	}
+	for i := 0; i < 2; i++ {
+		if err := client.PutJSON(ctx, "t", "Event", [][]any{{10 + i}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Quiesce(ctx, "t"); err != nil {
+			t.Fatal(err)
+		}
+		ev := <-events
+		if ev.Event != "change" || ev.Table != "Out" || ev.Version != int64(i+1) {
+			t.Fatalf("SSE event %d = %+v, want change Out v%d", i, ev, i+1)
+		}
+	}
+	if err := <-streamDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeLifecycleAndQuotas covers tenant duplicate/missing handling and
+// both quota layers.
+func TestServeLifecycleAndQuotas(t *testing.T) {
+	_, client := newTestServer(t, serve.Config{MaxTenants: 2})
+	ctx := context.Background()
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "a", Source: doubleSrc}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "a", Source: doubleSrc}); !serve.IsStatus(err, http.StatusConflict) {
+		t.Fatalf("duplicate create: err = %v, want 409", err)
+	}
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "bad", Source: "table ???"}); !serve.IsStatus(err, http.StatusBadRequest) {
+		t.Fatalf("bad source: err = %v, want 400", err)
+	}
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "b", Source: doubleSrc}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "c", Source: doubleSrc}); !serve.IsStatus(err, http.StatusTooManyRequests) {
+		t.Fatalf("tenant quota: err = %v, want 429", err)
+	}
+	if err := client.PutJSON(ctx, "nope", "Event", [][]any{{1}}); !serve.IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("put to missing tenant: err = %v, want 404", err)
+	}
+	if err := client.CloseTenant(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.CloseTenant(ctx, "b"); !serve.IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("double close: err = %v, want 404", err)
+	}
+	// Freed slot is reusable.
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "c", Source: doubleSrc}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeMigrate round-trips a live store migration over the wire.
+func TestServeMigrate(t *testing.T) {
+	_, client := newTestServer(t, serve.Config{})
+	ctx := context.Background()
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "t", Source: doubleSrc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutJSON(ctx, "t", "Event", [][]any{{1}, {2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Quiesce(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Migrate(ctx, "t", "Out", "inthash:1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Query(ctx, "t", "Out", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `[[1,2],[2,4],[3,6]]`; string(got) != want {
+		t.Errorf("post-migration query = %s, want %s", got, want)
+	}
+	if err := client.Migrate(ctx, "t", "Out", "nosuchkind"); !serve.IsStatus(err, http.StatusBadRequest) {
+		t.Fatalf("bad spec: err = %v, want 400", err)
+	}
+}
+
+// TestServeMetricsEndpoint checks the Prometheus rendering and the CSV log.
+func TestServeMetricsEndpoint(t *testing.T) {
+	var csv bytes.Buffer
+	srv, client := newTestServer(t, serve.Config{MetricsCSV: &csv})
+	ctx := context.Background()
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "t", Source: doubleSrc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutJSON(ctx, "t", "Event", [][]any{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Quiesce(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.HTTP.Get(client.Base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		`jstar_serve_requests_total{op="put",code="200"} 1`,
+		`jstar_serve_tuples_total{op="put",code="200"} 1`,
+		`jstar_serve_tenants 1`,
+		`jstar_serve_enqueue_nanos_count 1`,
+		`jstar_serve_quiesce_nanos_count 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+	if srv.RequestsServed() < 3 {
+		t.Errorf("RequestsServed = %d, want >= 3", srv.RequestsServed())
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != serve.CSVHeader {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if len(lines) < 4 {
+		t.Errorf("CSV rows = %d, want >= 4\n%s", len(lines)-1, csv.String())
+	}
+	var putRow string
+	for _, l := range lines[1:] {
+		if strings.Contains(l, ",put,") {
+			putRow = l
+		}
+	}
+	if putRow == "" {
+		t.Fatalf("no put row in CSV:\n%s", csv.String())
+	}
+	cols := strings.Split(putRow, ",")
+	if len(cols) != len(strings.Split(serve.CSVHeader, ",")) {
+		t.Errorf("put row has %d columns: %q", len(cols), putRow)
+	}
+}
+
+// TestServeInflightQuota holds one slow put and checks a second is shed.
+func TestServeInflightQuota(t *testing.T) {
+	_, client := newTestServer(t, serve.Config{})
+	ctx := context.Background()
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{
+		Name: "t", Source: doubleSrc, MaxInflightPuts: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A pipe body lets us hold the first put open inside the handler.
+	pr, pw := io.Pipe()
+	first := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, client.Base+"/v1/tenants/t/put", pr)
+		req.Header.Set("Content-Type", serve.JSONContentType)
+		resp, err := client.HTTP.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		first <- err
+	}()
+	// Wait for the first request to occupy the slot, then collide.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := client.PutJSON(ctx, "t", "Event", [][]any{{1}})
+		if serve.IsStatus(err, http.StatusTooManyRequests) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never observed 429 while a put held the only slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Fprint(pw, `{"table":"Event","rows":[[42]]}`)
+	pw.Close()
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeBinaryRejectsGarbage: a corrupt stream must 400, not hang.
+func TestServeBinaryRejectsGarbage(t *testing.T) {
+	_, client := newTestServer(t, serve.Config{})
+	ctx := context.Background()
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "t", Source: doubleSrc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutBinary(ctx, "t", []byte{9, 'N', 'o', 'T'}); !serve.IsStatus(err, http.StatusBadRequest) {
+		t.Fatalf("garbage stream: err = %v, want 400", err)
+	}
+}
+
+// TestTenantInfoVersions: the info endpoint exposes change generations.
+func TestTenantInfoVersions(t *testing.T) {
+	_, client := newTestServer(t, serve.Config{})
+	ctx := context.Background()
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{
+		Name: "t", Source: doubleSrc, Strategy: "seq",
+		StorePlan: map[string]string{"Out": "hash:1"}, IngressShards: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutJSON(ctx, "t", "Event", [][]any{{7}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Quiesce(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Versions["Event"] != 1 || res.Versions["Out"] != 1 {
+		t.Errorf("versions after first change = %v, want Event/Out at 1", res.Versions)
+	}
+	resp, err := client.HTTP.Get(client.Base + "/v1/tenants/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Versions map[string]int64 `json:"versions"`
+		Tables   []string         `json:"tables"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Versions["Out"] != 1 || len(info.Tables) != 2 {
+		t.Errorf("info = %+v", info)
+	}
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// subscription is one registered query subscription: a table plus an
+// optional prefix the client re-queries with, and the last change
+// generation the client acknowledged. Notification granularity is the
+// table's quiesced-change generation (Session.WaitChange): the client is
+// woken when the table's quiesced state changes and then re-runs its
+// prefix query, so it sees exactly the sequence of quiesced states after
+// registration — the generation counter is monotonic and bumped before
+// waiters wake, which rules out both missed and phantom notifications.
+type subscription struct {
+	ID     int64         `json:"id"`
+	Table  string        `json:"table"`
+	Prefix string        `json:"prefix,omitempty"` // raw JSON array, echoed back
+	prefix []tuple.Value // decoded once at registration
+
+	mu       sync.Mutex
+	lastSeen int64 // highest generation acknowledged by a poll
+}
+
+// subHub is one tenant's subscription table.
+type subHub struct {
+	mu   sync.Mutex
+	next int64
+	subs map[int64]*subscription
+}
+
+func newSubHub() *subHub {
+	return &subHub{subs: make(map[int64]*subscription)}
+}
+
+// add registers a subscription starting from generation since.
+func (h *subHub) add(table, rawPrefix string, prefix []tuple.Value, since int64) *subscription {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.next++
+	s := &subscription{
+		ID:       h.next,
+		Table:    table,
+		Prefix:   rawPrefix,
+		prefix:   prefix,
+		lastSeen: since,
+	}
+	h.subs[s.ID] = s
+	return s
+}
+
+func (h *subHub) get(id int64) *subscription {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.subs[id]
+}
+
+func (h *subHub) remove(id int64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[id]; !ok {
+		return false
+	}
+	delete(h.subs, id)
+	return true
+}
+
+func (h *subHub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// since returns the generation a poll should wait past: the explicit
+// sinceParam when given, else the subscription's acknowledged position.
+func (s *subscription) since(sinceParam string) (int64, error) {
+	if sinceParam != "" {
+		var v int64
+		if _, err := fmt.Sscanf(sinceParam, "%d", &v); err != nil {
+			return 0, fmt.Errorf("serve: bad since %q", sinceParam)
+		}
+		return v, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeen, nil
+}
+
+// ack records that the client has seen generation v (monotonic).
+func (s *subscription) ack(v int64) {
+	s.mu.Lock()
+	if v > s.lastSeen {
+		s.lastSeen = v
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+
+	"github.com/jstar-lang/jstar/internal/core"
+	"github.com/jstar-lang/jstar/internal/exec"
+	"github.com/jstar-lang/jstar/internal/gamma"
+	"github.com/jstar-lang/jstar/internal/lang"
+)
+
+// TenantConfig is the JSON body of a create-tenant request: a named JStar
+// program plus the per-tenant engine options and quotas. Source is
+// compiled server-side, so a tenant is fully described by one POST.
+type TenantConfig struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	// Strategy is an exec strategy name ("auto", "seq", "forkjoin",
+	// "pipelined"); empty means auto.
+	Strategy string `json:"strategy,omitempty"`
+	// StorePlan maps table names to gamma kind specs ("hash:2",
+	// "columnar", ...), overriding the planner's defaults.
+	StorePlan map[string]string `json:"store_plan,omitempty"`
+	// IngressShards and ReplanEvery pass through to core.Options.
+	IngressShards int `json:"ingress_shards,omitempty"`
+	ReplanEvery   int `json:"replan_every,omitempty"`
+	// MaxInflightPuts caps concurrent ingestion requests for this tenant
+	// (further puts get 429); 0 uses the server default.
+	MaxInflightPuts int `json:"max_inflight_puts,omitempty"`
+}
+
+var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+// Tenant is one hosted program: a compiled Program, its live Session, the
+// ingestion quota semaphore, and the tenant's subscription hub.
+type Tenant struct {
+	Name    string
+	Config  TenantConfig
+	Prog    *core.Program
+	Session *core.Session
+
+	inflight chan struct{} // ingestion-quota semaphore; acquire per put request
+	subs     *subHub
+}
+
+// tryAcquirePut claims one ingestion slot without blocking, reporting
+// whether the quota had room. Release with releasePut.
+func (t *Tenant) tryAcquirePut() bool {
+	select {
+	case t.inflight <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (t *Tenant) releasePut() { <-t.inflight }
+
+// registry is the multi-tenant session table: name → Tenant, guarded by a
+// mutex (creation compiles a program, but the critical section only
+// reserves the name — compilation and session start run outside the lock).
+type registry struct {
+	mu         sync.Mutex
+	tenants    map[string]*Tenant
+	maxTenants int
+}
+
+func newRegistry(maxTenants int) *registry {
+	return &registry{tenants: make(map[string]*Tenant), maxTenants: maxTenants}
+}
+
+// create compiles cfg.Source, starts a session with the tenant's options,
+// and registers the tenant. The name is reserved before compiling so two
+// concurrent creates of the same name cannot both win.
+func (r *registry) create(ctx context.Context, cfg TenantConfig, defaultInflight int) (*Tenant, error) {
+	if !tenantNameRE.MatchString(cfg.Name) {
+		return nil, fmt.Errorf("serve: bad tenant name %q (want %s)", cfg.Name, tenantNameRE)
+	}
+	r.mu.Lock()
+	if _, dup := r.tenants[cfg.Name]; dup {
+		r.mu.Unlock()
+		return nil, errTenantExists
+	}
+	if r.maxTenants > 0 && len(r.tenants) >= r.maxTenants {
+		r.mu.Unlock()
+		return nil, errTenantQuota
+	}
+	r.tenants[cfg.Name] = nil // reserve the name while compiling
+	r.mu.Unlock()
+
+	t, err := buildTenant(ctx, cfg, defaultInflight)
+	r.mu.Lock()
+	if err != nil {
+		delete(r.tenants, cfg.Name)
+	} else {
+		r.tenants[cfg.Name] = t
+	}
+	r.mu.Unlock()
+	return t, err
+}
+
+func buildTenant(ctx context.Context, cfg TenantConfig, defaultInflight int) (*Tenant, error) {
+	prog, err := lang.CompileSource(cfg.Source)
+	if err != nil {
+		return nil, fmt.Errorf("serve: compile tenant %s: %w", cfg.Name, err)
+	}
+	opts := core.Options{
+		Quiet:         true,
+		IngressShards: cfg.IngressShards,
+		ReplanEvery:   cfg.ReplanEvery,
+	}
+	if cfg.Strategy != "" {
+		st, err := exec.ParseStrategy(cfg.Strategy)
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %s: %w", cfg.Name, err)
+		}
+		opts.Strategy = st
+	}
+	if len(cfg.StorePlan) > 0 {
+		opts.StorePlan = make(gamma.StorePlan, len(cfg.StorePlan))
+		for k, v := range cfg.StorePlan {
+			opts.StorePlan[k] = v
+		}
+	}
+	sess, err := prog.Start(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: start tenant %s: %w", cfg.Name, err)
+	}
+	inflight := cfg.MaxInflightPuts
+	if inflight <= 0 {
+		inflight = defaultInflight
+	}
+	return &Tenant{
+		Name:     cfg.Name,
+		Config:   cfg,
+		Prog:     prog,
+		Session:  sess,
+		inflight: make(chan struct{}, inflight),
+		subs:     newSubHub(),
+	}, nil
+}
+
+// get returns the named tenant, or nil if absent or still being created.
+func (r *registry) get(name string) *Tenant {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tenants[name]
+}
+
+// remove unregisters and closes the named tenant, reporting whether it
+// existed.
+func (r *registry) remove(name string) bool {
+	r.mu.Lock()
+	t := r.tenants[name]
+	if t != nil {
+		delete(r.tenants, name)
+	}
+	r.mu.Unlock()
+	if t == nil {
+		return false
+	}
+	t.Session.Close()
+	return true
+}
+
+// list returns the live tenants sorted by name.
+func (r *registry) list() []*Tenant {
+	r.mu.Lock()
+	out := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (r *registry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tenants)
+}
+
+// closeAll closes every tenant session (server shutdown).
+func (r *registry) closeAll() {
+	for _, t := range r.list() {
+		t.Session.Close()
+	}
+}

@@ -70,6 +70,13 @@
 // the same store move explicitly, and RunStats.Migrations /
 // RunStats.StrategySwitches log every decision taken.
 //
+// Sessions also go on the wire: cmd/jstar-serve (internal/serve) hosts
+// many named programs as a multi-tenant HTTP service — streaming
+// ingestion (JSON or binary batch frames) straight into PutBatch, prefix
+// queries over quiesced state, and change subscriptions (long-poll/SSE)
+// driven by Session.TableVersion / Session.WaitChange, the per-table
+// quiesced-change generations folded from each step's Delta accounting.
+//
 // Program.Execute and Run.ExecuteEvents remain as one-shot compatibility
 // wrappers over the same Session machinery: Execute is start-quiesce-close,
 // and ExecuteEvents keeps its legacy serial contract of draining to
