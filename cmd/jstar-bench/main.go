@@ -48,6 +48,7 @@ type config struct {
 	spExtra     int
 	medianN     int
 	threadSteps []int
+	procsLadder []int // -procs GOMAXPROCS ladder, stamped into every artifact
 	repeats     int
 	strategy    exec.Strategy // engine for the parallel JStar sweeps
 }
@@ -71,6 +72,8 @@ func main() {
 		"comma-separated GOMAXPROCS values for the -speedup sweep")
 	minDispatchSpeedup := flag.Float64("min-dispatch-speedup", 0,
 		"with -speedup: exit 1 if the parallel dispatch microbench at 4 procs (or the largest swept) is below this multiple of the sequential baseline (0 disables; CI's scaling gate)")
+	minAffinityRatio := flag.Float64("min-affinity-ratio", 0,
+		"with -speedup: exit 1 if the affinity-on dispatch speedup at 4 procs (or the largest swept) is below this multiple of the affinity-off dispatch speedup at the same procs (0 disables; CI's table-affinity gate)")
 	jsonPath := flag.String("json", "", "write smoke results as JSON (strategy, GOMAXPROCS, batch-size histogram) to this file")
 	savePlan := flag.String("save-plan", "",
 		"run the store-plan tuning pass (pvwatts, matmult, shortestpath, median) and write the suggested per-app plans as JSON")
@@ -116,6 +119,15 @@ func main() {
 	for th := 1; th <= *maxThreads; th *= 2 {
 		cfg.threadSteps = append(cfg.threadSteps, th)
 	}
+	// The procs ladder is parsed up front (not just under -speedup) because
+	// every artifact header records it: trajectory tooling uses the ladder
+	// plus numcpu to reject cross-host comparisons.
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.procsLadder = procs
 
 	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
 	ran := false
@@ -184,12 +196,8 @@ func main() {
 	if *speedup {
 		ran = true
 		ensureArt()
-		procs, err := parseProcs(*procsFlag)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		gateFailures = append(gateFailures, speedupSweep(cfg, art, procs, *minDispatchSpeedup)...)
+		gateFailures = append(gateFailures,
+			speedupSweep(cfg, art, procs, *minDispatchSpeedup, *minAffinityRatio)...)
 	}
 	if *adaptive {
 		ran = true
@@ -636,6 +644,10 @@ type speedupRow struct {
 	// Speedup is sequential-baseline time / this time (1.0 for the
 	// baseline row itself).
 	Speedup float64 `json:"speedup"`
+	// Affinity marks a schema-7 row measured with Options.TableAffinity on;
+	// it shares the sequential baseline of the same-named affinity-off rows,
+	// so on/off speedups compare directly.
+	Affinity bool `json:"affinity,omitempty"`
 }
 
 // benchSchema is the BENCH_*.json artifact version. History:
@@ -644,20 +656,27 @@ type speedupRow struct {
 // rows (the -speedup GOMAXPROCS sweep); 5 adaptive drift report (the
 // -adaptive frozen-vs-re-planning session comparison); 6 serve-load
 // latency report (the -serve-load ingest/quiesce-visibility histograms
-// measured over real sockets against jstar-serve).
-const benchSchema = 6
+// measured over real sockets against jstar-serve); 7 table-affinity sweep
+// rows (the dispatch/step-boundary microbenches re-run with
+// Options.TableAffinity on, marked affinity=true) plus the host's
+// procs_ladder in the header so trajectory diffs can reject artifacts
+// from mismatched hosts.
+const benchSchema = 7
 
 // smokeArtifact is the BENCH_*.json schema CI uploads per run, so the
 // perf trajectory (and the batch-size distributions feeding store
 // auto-tuning) accumulates across commits.
 type smokeArtifact struct {
-	Schema     int           `json:"schema"`
-	Strategy   string        `json:"strategy"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"numcpu"`
-	GoVersion  string        `json:"go_version"`
-	Repeats    int           `json:"repeats"`
-	Runs       []smokeResult `json:"runs"`
+	Schema     int    `json:"schema"`
+	Strategy   string `json:"strategy"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	// ProcsLadder is the GOMAXPROCS ladder sweeps on this host step
+	// through (schema 7); with NumCPU it fingerprints the measurement host.
+	ProcsLadder []int         `json:"procs_ladder"`
+	GoVersion   string        `json:"go_version"`
+	Repeats     int           `json:"repeats"`
+	Runs        []smokeResult `json:"runs"`
 	// StepBoundary is the boundary microbench sweep (schema 3).
 	StepBoundary []boundaryRow `json:"step_boundary"`
 	// Speedup is the multi-core sweep (schema 4; -speedup only).
@@ -684,16 +703,16 @@ type migrationRow struct {
 // the adaptive run's migration/strategy event log, and the headline
 // speedup (frozen mean / adaptive mean over the probe-burst windows).
 type adaptiveReport struct {
-	Keys             int            `json:"keys"`
-	IngestWindows    int            `json:"ingest_windows"`
-	ProbeWindows     int            `json:"probe_windows"`
-	ProbesPerWindow  int            `json:"probes_per_window"`
-	ReplanEvery      int            `json:"replan_every"`
-	FrozenKind       string         `json:"frozen_kind"`   // Reading's store, frozen run
-	AdaptiveKind     string         `json:"adaptive_kind"` // Reading's store after migration
+	Keys            int    `json:"keys"`
+	IngestWindows   int    `json:"ingest_windows"`
+	ProbeWindows    int    `json:"probe_windows"`
+	ProbesPerWindow int    `json:"probes_per_window"`
+	ReplanEvery     int    `json:"replan_every"`
+	FrozenKind      string `json:"frozen_kind"`   // Reading's store, frozen run
+	AdaptiveKind    string `json:"adaptive_kind"` // Reading's store after migration
 	// KindAfterIngest is Reading's backend in the adaptive run at the
 	// phase-1/phase-2 boundary — the convergence gate's input.
-	KindAfterIngest string `json:"kind_after_ingest"`
+	KindAfterIngest  string         `json:"kind_after_ingest"`
 	FrozenProbeNs    []int64        `json:"frozen_probe_ns"`
 	AdaptiveProbeNs  []int64        `json:"adaptive_probe_ns"`
 	FrozenMeanNs     float64        `json:"frozen_mean_ns"`
@@ -709,12 +728,13 @@ type adaptiveReport struct {
 // newArtifact stamps an empty artifact with the host and run configuration.
 func newArtifact(cfg config) *smokeArtifact {
 	return &smokeArtifact{
-		Schema:     benchSchema,
-		Strategy:   cfg.strategy.String(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
-		Repeats:    cfg.repeats,
+		Schema:      benchSchema,
+		Strategy:    cfg.strategy.String(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		ProcsLadder: cfg.procsLadder,
+		GoVersion:   runtime.Version(),
+		Repeats:     cfg.repeats,
 	}
 }
 
@@ -894,7 +914,10 @@ func dispatchProgram(batch int, sink *atomic.Int64) *core.Program {
 // artifact rows. A non-zero minDispatch is the CI scaling gate: the
 // parallel dispatch microbench at 4 procs (or the largest swept value)
 // must reach that multiple of the sequential baseline.
-func speedupSweep(cfg config, art *smokeArtifact, procs []int, minDispatch float64) []string {
+// A non-zero minAffinityRatio additionally gates the schema-7 affinity
+// re-run: the affinity-on dispatch speedup at 4 procs must reach that
+// multiple of the affinity-off dispatch speedup at the same point.
+func speedupSweep(cfg config, art *smokeArtifact, procs []int, minDispatch, minAffinityRatio float64) []string {
 	strat := cfg.strategy
 	if strat == exec.Auto {
 		strat = exec.ForkJoin
@@ -953,24 +976,57 @@ func speedupSweep(cfg config, art *smokeArtifact, procs []int, minDispatch float
 			}
 		}},
 	}
-	point := func(name, strategy string, nproc, threads int, d time.Duration, base time.Duration) {
+	point := func(name, strategy string, nproc, threads int, d time.Duration, base time.Duration, aff bool) {
 		art.Speedup = append(art.Speedup, speedupRow{
 			Name: name, Strategy: strategy, Gomaxprocs: nproc, Threads: threads,
-			ElapsedNs: d.Nanoseconds(), Speedup: float64(base) / float64(d),
+			ElapsedNs: d.Nanoseconds(), Speedup: float64(base) / float64(d), Affinity: aff,
 		})
+		label := strategy
+		if aff {
+			label += "+aff"
+		}
 		fmt.Printf("%-14s %-12s %6d %12v %9.2fx\n",
-			name, strategy, nproc, d.Round(time.Microsecond), float64(base)/float64(d))
+			name, label, nproc, d.Round(time.Microsecond), float64(base)/float64(d))
 	}
+	bases := map[string]time.Duration{}
 	for _, w := range workloads {
 		w := w
 		runtime.GOMAXPROCS(1)
 		base := timeIt(cfg.repeats, func() { w.run(true, 1) })
-		point(w.name, "sequential", 1, 1, base, base)
+		bases[w.name] = base
+		point(w.name, "sequential", 1, 1, base, base, false)
 		for _, np := range procs {
 			np := np
 			runtime.GOMAXPROCS(np)
 			d := timeIt(cfg.repeats, func() { w.run(false, np) })
-			point(w.name, strat.String(), np, np, d, base)
+			point(w.name, strat.String(), np, np, d, base, false)
+		}
+	}
+	// Table-affinity re-run (schema 7): the two microbenches again with
+	// Options.TableAffinity on, against the same sequential baselines. The
+	// apps are skipped — their firing work dwarfs boundary flushes, so
+	// affinity would be in the noise; dispatch and step-boundary are exactly
+	// the shard-routed fire/flush paths the mode rewires.
+	for _, w := range []struct {
+		name  string
+		iters int
+		prog  func() *core.Program
+	}{
+		{"dispatch", dispatchIters, func() *core.Program { return dispatchProgram(dispatchBatch, &sink) }},
+		{"step-boundary", boundaryIters, func() *core.Program { return boundaryProgram(boundaryBatch) }},
+	} {
+		w := w
+		for _, np := range procs {
+			np := np
+			runtime.GOMAXPROCS(np)
+			d := timeIt(cfg.repeats, func() {
+				for i := 0; i < w.iters; i++ {
+					_, err := w.prog().Execute(core.Options{
+						Strategy: strat, Threads: np, Quiet: true, TableAffinity: true})
+					must(err)
+				}
+			})
+			point(w.name, strat.String(), np, np, d, bases[w.name], true)
 		}
 	}
 	runtime.GOMAXPROCS(origProcs)
@@ -980,7 +1036,7 @@ func speedupSweep(cfg config, art *smokeArtifact, procs []int, minDispatch float
 	if minDispatch > 0 {
 		gate := speedupRow{}
 		for _, r := range art.Speedup {
-			if r.Name != "dispatch" || r.Strategy == "sequential" {
+			if r.Name != "dispatch" || r.Strategy == "sequential" || r.Affinity {
 				continue
 			}
 			// Prefer the 4-proc point (the CI gate's contract); otherwise
@@ -999,6 +1055,33 @@ func speedupSweep(cfg config, art *smokeArtifact, procs []int, minDispatch float
 		default:
 			fmt.Printf("dispatch gate: %s at %d procs = %.2fx sequential (>= %.2fx)\n\n",
 				gate.Strategy, gate.Gomaxprocs, gate.Speedup, minDispatch)
+		}
+	}
+	if minAffinityRatio > 0 {
+		var on, off speedupRow
+		for _, r := range art.Speedup {
+			if r.Name != "dispatch" || r.Strategy == "sequential" {
+				continue
+			}
+			tgt := &off
+			if r.Affinity {
+				tgt = &on
+			}
+			if r.Gomaxprocs == 4 || (tgt.Gomaxprocs != 4 && r.Gomaxprocs > tgt.Gomaxprocs) {
+				*tgt = r
+			}
+		}
+		switch {
+		case on.Name == "" || off.Name == "" || on.Gomaxprocs != off.Gomaxprocs:
+			failures = append(failures,
+				"jstar-bench: -min-affinity-ratio set but the sweep lacks matching affinity-on/off dispatch rows")
+		case on.Speedup < minAffinityRatio*off.Speedup:
+			failures = append(failures, fmt.Sprintf(
+				"jstar-bench: affinity-on dispatch at %d procs is %.2fx sequential vs %.2fx affinity-off — below the -min-affinity-ratio gate (%.2f)",
+				on.Gomaxprocs, on.Speedup, off.Speedup, minAffinityRatio))
+		default:
+			fmt.Printf("affinity gate: dispatch at %d procs = %.2fx on vs %.2fx off (ratio %.2f >= %.2f)\n\n",
+				on.Gomaxprocs, on.Speedup, off.Speedup, on.Speedup/off.Speedup, minAffinityRatio)
 		}
 	}
 	return failures

@@ -9,8 +9,8 @@ import (
 // benchSchema (and this test) whenever a field is added, so downstream
 // trajectory tooling can dispatch on it.
 func TestArtifactSchemaVersion(t *testing.T) {
-	if benchSchema != 6 {
-		t.Fatalf("benchSchema = %d, want 6 (update the schema history comment and this pin together)", benchSchema)
+	if benchSchema != 7 {
+		t.Fatalf("benchSchema = %d, want 7 (update the schema history comment and this pin together)", benchSchema)
 	}
 	if got := newArtifact(config{repeats: 3}).Schema; got != benchSchema {
 		t.Fatalf("newArtifact schema = %d, want %d", got, benchSchema)
@@ -149,6 +149,48 @@ func TestArtifactSchema5Compat(t *testing.T) {
 	}
 	if art.Serve != nil {
 		t.Fatalf("schema-5 artifact grew a serve report: %+v", art.Serve)
+	}
+}
+
+// TestArtifactSchema6Compat: a schema-6 BENCH file (serve report, no
+// procs ladder, speedup rows without the affinity flag) must still
+// unmarshal into the current artifact struct — the fields through schema 6
+// are append-only; ProcsLadder stays nil and Affinity stays false.
+func TestArtifactSchema6Compat(t *testing.T) {
+	const schema6 = `{
+  "schema": 6,
+  "strategy": "auto",
+  "gomaxprocs": 4,
+  "numcpu": 4,
+  "go_version": "go1.22.0",
+  "repeats": 5,
+  "runs": [],
+  "step_boundary": [],
+  "speedup": [
+    {"name": "dispatch", "strategy": "forkjoin", "gomaxprocs": 4, "threads": 4,
+     "elapsed_ns": 1000000, "speedup": 2.5}
+  ],
+  "serve": {
+    "clients": 4, "batches": 25, "batch_rows": 64, "tuples": 6400,
+    "requests": 120, "notifications": 100,
+    "ingest": {"count": 100, "mean_nanos": 1000, "p50_nanos": 900,
+               "p99_nanos": 2000, "p999_nanos": 3000, "max_nanos": 4000},
+    "visibility": {"count": 100, "mean_nanos": 2000, "p50_nanos": 1800,
+                   "p99_nanos": 4000, "p999_nanos": 6000, "max_nanos": 8000}
+  }
+}`
+	var art smokeArtifact
+	if err := json.Unmarshal([]byte(schema6), &art); err != nil {
+		t.Fatalf("schema-6 artifact no longer parses: %v", err)
+	}
+	if art.Schema != 6 || art.Serve == nil || len(art.Speedup) != 1 {
+		t.Fatalf("schema-6 fields misparsed: %+v", art)
+	}
+	if art.ProcsLadder != nil {
+		t.Fatalf("schema-6 artifact grew a procs ladder: %v", art.ProcsLadder)
+	}
+	if art.Speedup[0].Affinity {
+		t.Fatal("schema-6 speedup row misparsed as affinity")
 	}
 }
 

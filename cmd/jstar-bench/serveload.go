@@ -35,7 +35,7 @@ foreach (Event e) {
 type serveReport struct {
 	Addr          string `json:"addr"`
 	Clients       int    `json:"clients"`
-	Batches       int    `json:"batches"`   // per client
+	Batches       int    `json:"batches"` // per client
 	BatchRows     int    `json:"batch_rows"`
 	Tuples        int64  `json:"tuples"`
 	Requests      int64  `json:"requests"`      // successful client requests

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/jstar-lang/jstar/internal/exec"
+	"github.com/jstar-lang/jstar/internal/gamma"
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// affinityProgram is the parity workload: a fan-out from Src across four
+// Work tables sharing one orderby literal (so a single step's batch mixes
+// schemas owned by different Gamma shards), each emitting into one shared
+// Out table, with heavy cross-slot duplication. srcN/per/mod mirror the
+// flush-parity test; the four-way table split is what gives the shard map
+// something to route.
+const (
+	affSrcN = 12
+	affPer  = 40
+	affMod  = 97
+)
+
+// affinityProgram builds the workload; seed adds the initial Src puts (the
+// session test injects them through the ingress instead).
+func affinityProgram(seed bool) *Program {
+	p := NewProgram()
+	src := p.Table("Src", []tuple.Column{{Name: "j", Kind: tuple.KindInt}},
+		[]tuple.OrderEntry{tuple.Lit("Src")})
+	works := make([]*tuple.Schema, 4)
+	for i := range works {
+		works[i] = p.Table(fmt.Sprintf("Work%d", i),
+			[]tuple.Column{{Name: "v", Kind: tuple.KindInt}},
+			[]tuple.OrderEntry{tuple.Lit("Work")})
+	}
+	out := p.Table("Out", []tuple.Column{{Name: "v", Kind: tuple.KindInt}},
+		[]tuple.OrderEntry{tuple.Lit("Out")})
+	p.Order("Src", "Work", "Out")
+	p.Rule("fan", src, func(c *Ctx, tp *tuple.Tuple) {
+		j := tp.Int("j")
+		for i := int64(0); i < affPer; i++ {
+			v := (j*31 + i*7) % affMod
+			c.PutNew(works[v%4], tuple.Int(v))
+		}
+	})
+	for i, w := range works {
+		k := int64(i)
+		p.Rule(fmt.Sprintf("emit%d", i), w, func(c *Ctx, tp *tuple.Tuple) {
+			c.PutNew(out, tuple.Int(tp.Int("v")*10+k))
+		})
+	}
+	if seed {
+		for j := int64(0); j < affSrcN; j++ {
+			p.Put(tuple.New(src, tuple.Int(j)))
+		}
+	}
+	return p
+}
+
+func affinitySnapshot(r *Run, table string) []string {
+	s := r.Program().Schema(table)
+	var lines []string
+	r.Gamma().Table(s).Scan(func(tp *tuple.Tuple) bool {
+		lines = append(lines, tp.String())
+		return true
+	})
+	sort.Strings(lines)
+	return lines
+}
+
+// TestAffinityParityAcrossStrategiesAndStores is the tentpole's correctness
+// pin: with Options.TableAffinity on, the quiesced Gamma contents and the
+// per-table put/duplicate counters must be indistinguishable from the
+// affinity-off run, across every strategy, a spread of store kinds, and
+// "@N" owner-shard overrides (including an ownership-only "@2" entry). Run
+// it under -race: the per-(worker, shard) buffers, the shard-grouped
+// beginStep inserts and the shard-parallel endStep merge are exactly the
+// paths a routing bug would turn into data races.
+func TestAffinityParityAcrossStrategiesAndStores(t *testing.T) {
+	plans := []gamma.StorePlan{
+		nil,
+		{"Work0": "tree", "Work1": "tree@0", "Out": "tree"},
+		{"Work0": "skip", "Work1": "skip@1", "Work2": "@2", "Out": "skip"},
+		{"Work0": "hash:1", "Work1": "inthash:1@3", "Out": "hash:1"},
+		{"Work0": "columnar", "Out": "columnar"},
+	}
+	strategies := []exec.Strategy{exec.Sequential, exec.ForkJoin, exec.Pipelined}
+	tables := []string{"Work0", "Work1", "Work2", "Work3", "Out"}
+	type counts struct{ puts, dups int64 }
+	var refOut []string
+	var refCounts map[string]counts
+	for _, strat := range strategies {
+		for pi, plan := range plans {
+			for _, affinity := range []bool{false, true} {
+				name := fmt.Sprintf("%v/plan%d/affinity=%v", strat, pi, affinity)
+				opts := Options{
+					Strategy: strat, Threads: 4, Quiet: true,
+					TableAffinity: affinity, StorePlan: plan.Clone(),
+				}
+				run, err := affinityProgram(true).Execute(opts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if affinity && strat != exec.Sequential && run.TableShards() != 4 {
+					t.Fatalf("%s: TableShards = %d, want 4 (affinity mode not armed)", name, run.TableShards())
+				}
+				gotOut := affinitySnapshot(run, "Out")
+				gotCounts := map[string]counts{}
+				for _, tb := range tables {
+					st := run.Stats().Tables[tb]
+					gotCounts[tb] = counts{st.Puts.Load(), st.Duplicates.Load()}
+				}
+				if refOut == nil {
+					refOut, refCounts = gotOut, gotCounts
+					var workDups int64
+					for _, tb := range tables[:4] {
+						workDups += gotCounts[tb].dups
+					}
+					if len(refOut) == 0 || workDups == 0 {
+						t.Fatal("workload produced no Out tuples or no Work duplicates; test is vacuous")
+					}
+					continue
+				}
+				if !slices.Equal(gotOut, refOut) {
+					t.Errorf("%s: Out contents differ from reference (%d vs %d tuples)",
+						name, len(gotOut), len(refOut))
+				}
+				for _, tb := range tables {
+					if gotCounts[tb] != refCounts[tb] {
+						t.Errorf("%s: table %s counters %+v, reference %+v",
+							name, tb, gotCounts[tb], refCounts[tb])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAffinitySessionIngestParity drives the same workload through the
+// session ingress instead of initial puts: concurrent PutBatch publishers,
+// sharded ingress lanes, and the affinity absorb path that routes each
+// external tuple to the slot of the worker owning its table. The quiesced
+// snapshots must match the affinity-off session exactly.
+func TestAffinitySessionIngestParity(t *testing.T) {
+	runOnce := func(affinity bool) []string {
+		p := affinityProgram(false)
+		src := p.Schema("Src")
+		s, err := p.Start(context.Background(), Options{
+			Strategy: exec.ForkJoin, Threads: 4, Quiet: true,
+			TableAffinity: affinity, IngressShards: 2, IngressRing: 256,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := int64(0); j < affSrcN; j++ {
+					if j%3 != int64(w) {
+						continue
+					}
+					if err := s.Put(tuple.New(src, tuple.Int(j))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := s.Quiesce(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		for _, tp := range s.Snapshot(p.Schema("Out")) {
+			lines = append(lines, tp.String())
+		}
+		sort.Strings(lines)
+		return lines
+	}
+	off := runOnce(false)
+	on := runOnce(true)
+	if len(off) == 0 {
+		t.Fatal("session workload produced no Out tuples; test is vacuous")
+	}
+	if !slices.Equal(on, off) {
+		t.Fatalf("affinity-on session snapshot differs: %d vs %d tuples", len(on), len(off))
+	}
+}
+
+// TestBuildFirePlanCoversBatch pins the fire plan invariants directly:
+// tasks partition the live batch exactly (every tuple fired once), each
+// task is shard-homogeneous, and a batch funnelled through one hot table
+// still splits into multiple tasks instead of serialising on one worker.
+func TestBuildFirePlanCoversBatch(t *testing.T) {
+	p := affinityProgram(false)
+	r, err := p.NewRun(Options{Strategy: exec.ForkJoin, Threads: 4, Quiet: true, TableAffinity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	works := make([]*tuple.Schema, 4)
+	for i := range works {
+		works[i] = p.Schema(fmt.Sprintf("Work%d", i))
+	}
+	// Mixed batch: tuples from all four Work tables, sorted as beginStep
+	// sorts (schema then fields) so owner segments are contiguous.
+	var live []*tuple.Tuple
+	for i, w := range works {
+		for v := int64(0); v < 100; v++ {
+			live = append(live, tuple.New(w, tuple.Int(v*int64(i+1))))
+		}
+	}
+	r.buildFirePlan(live)
+	if len(r.fireTasks) < 4 {
+		t.Fatalf("mixed batch planned %d tasks, want >= 4", len(r.fireTasks))
+	}
+	next := 0
+	for i, task := range r.fireTasks {
+		if task.lo != next {
+			t.Fatalf("task %d starts at %d, want %d (plan must partition the batch)", i, task.lo, next)
+		}
+		if task.hi <= task.lo {
+			t.Fatalf("task %d is empty [%d,%d)", i, task.lo, task.hi)
+		}
+		sh := r.shardMap.OwnerID(live[task.lo].Schema().ID())
+		for _, tp := range live[task.lo:task.hi] {
+			if r.shardMap.OwnerID(tp.Schema().ID()) != sh {
+				t.Fatalf("task %d mixes owner shards", i)
+			}
+		}
+		next = task.hi
+	}
+	if next != len(live) {
+		t.Fatalf("plan covers %d of %d live tuples", next, len(live))
+	}
+	// Hot-table escape hatch: one table's segment must split at the grain.
+	hot := live[:0:0]
+	for v := int64(0); v < 400; v++ {
+		hot = append(hot, tuple.New(works[0], tuple.Int(v)))
+	}
+	r.buildFirePlan(hot)
+	if len(r.fireTasks) < 2 {
+		t.Fatalf("hot-table batch planned %d tasks; single-shard steps must still split", len(r.fireTasks))
+	}
+	routes := map[int]bool{}
+	for _, task := range r.fireTasks {
+		routes[task.route] = true
+	}
+	if len(routes) < 2 {
+		t.Fatalf("hot-table tasks all route to %v; overflow chunks must spread", r.fireTasks[0].route)
+	}
+}

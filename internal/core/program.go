@@ -255,6 +255,16 @@ type Options struct {
 	// offline -save-plan/-store-plan behaviour. Migration and switch
 	// events are logged in RunStats.Migrations / StrategySwitches.
 	ReplanEvery int
+	// TableAffinity enables table-affine execution for the parallel
+	// strategies: every table is owned by one of Threads shards (schema-ID
+	// hash via gamma.ShardMap, overridable with a "@N" suffix on a
+	// StorePlan entry), fire chunks are grouped by owning shard and routed
+	// to the worker pinned to that shard, and put buffers become
+	// per-(worker, shard) so the beginStep Gamma flush and the endStep
+	// merge fan out shard-parallel with zero aliasing. Quiesced results are
+	// identical with the flag on or off (the affinity parity suite pins
+	// this); only the scheduling changes. Ignored for sequential runs.
+	TableAffinity bool
 	// Pool lets callers share an external fork/join pool across runs
 	// (benchmarks); when nil the run creates and owns one.
 	Pool PoolRef

@@ -274,13 +274,39 @@ type putSlot struct {
 }
 
 // sealedRun is one slot's sorted put run awaiting the step-boundary merge.
-// The slot index rides along so the (capacity-retaining) buffer returns to
-// its owner after the merge — buffers cycle fill → seal → merge → return,
+// The slot index (into Run.slots — a (worker, shard) sub-buffer under
+// affinity) rides along so the (capacity-retaining) buffer returns to its
+// owner after the merge — buffers cycle fill → seal → merge → return,
 // cleared of stale tuple pointers before reuse so a grown buffer never
-// pins dead tuples across steps.
+// pins dead tuples across steps. shard is the Gamma owner shard of every
+// tuple in ts (always 0 with affinity off), which is what lets endStep
+// merge the runs shard-parallel with zero aliasing.
 type sealedRun struct {
-	slot int
-	ts   []*tuple.Tuple
+	slot  int
+	shard int
+	ts    []*tuple.Tuple
+}
+
+// prefixBuckets is the number of coarse key-prefix change buckets tracked
+// per table for filtered query subscriptions — sized to one dirty-mask
+// word, so accumulating a step's buckets is a single atomic Or.
+const prefixBuckets = 64
+
+// prefixGens holds one table's per-bucket quiesced-change generations.
+type prefixGens [prefixBuckets]atomic.Int64
+
+// PrefixBucket returns the change-tracking bucket of a leading key value —
+// the bucket a prefix-filtered subscriber watches and an insert dirties.
+func PrefixBucket(v tuple.Value) int {
+	return int(v.Hash(tuple.HashSeed) % prefixBuckets)
+}
+
+// fireTask is one entry of the table-affine dispatch plan: a contiguous,
+// schema-clustered chunk of the live batch wholly owned by one Gamma
+// shard, plus the route the pipelined executor keys consumer claiming on.
+type fireTask struct {
+	lo, hi int
+	route  int
 }
 
 // Run is one execution of a Program under a set of Options.
@@ -304,6 +330,29 @@ type Run struct {
 	flushBuf []*tuple.Tuple   // coordinator-only merge scratch for endStep
 	groupBuf []insGroup       // coordinator-only scratch for beginStep's groups
 	runsBuf  [][]*tuple.Tuple // coordinator-only scratch for endStep's merge input
+
+	// Table-affine execution (Options.TableAffinity). tableShards is the
+	// Gamma owner-shard count — 1 with affinity off, so the (slot, shard)
+	// put-buffer indexing below degenerates to the classic per-slot layout
+	// and the affinity-off path stays byte-identical through one code path.
+	// shardMap owns the schema → shard assignment; fireTasks/fireLive are
+	// the per-step shard-routed dispatch plan built by beginStep and fired
+	// through exec.AffineHost.
+	tableShards int
+	shardMap    *gamma.ShardMap
+	fireTasks   []fireTask
+	fireLive    []*tuple.Tuple // live batch backing fireTasks; valid within a step
+	shardRuns   [][][]*tuple.Tuple
+	shardFlush  [][]*tuple.Tuple
+
+	// prefixTrack gates per-table key-prefix change tracking (filtered
+	// query subscriptions); until the first filtered subscriber arms it,
+	// the insert paths pay a single relaxed load. prefixDirty accumulates
+	// each table's dirtied buckets between quiescent boundaries; foldDirty
+	// drains it into prefixVerByID's per-bucket generations.
+	prefixTrack   atomic.Bool
+	prefixDirty   []atomic.Uint64
+	prefixVerByID []prefixGens
 
 	// sealed collects the step's sorted per-slot runs (SealSlot). The
 	// mutex orders concurrent worker seals; the coordinator drains the
@@ -382,9 +431,11 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 	// Store selection is layered, lowest priority first: the compiler's
 	// static plan hints, then programmatic GammaHint factories, then the
 	// per-run Options.StorePlan (the profile-guided replay). Specs were
-	// already vetted by Validate, so FactoryFor cannot fail here.
+	// already vetted by Validate, so FactoryFor cannot fail here; a nil
+	// factory is an ownership-only "@N" spec that pins the table's Gamma
+	// shard without overriding its store.
 	for t, spec := range p.planHints {
-		if f, err := gamma.FactoryFor(spec, p.tables[t]); err == nil {
+		if f, err := gamma.FactoryFor(spec, p.tables[t]); err == nil && f != nil {
 			r.gammaDB.SetStore(t, f)
 		}
 	}
@@ -392,7 +443,7 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 		r.gammaDB.SetStore(t, f)
 	}
 	for t, spec := range opts.StorePlan {
-		if f, err := gamma.FactoryFor(spec, p.tables[t]); err == nil {
+		if f, err := gamma.FactoryFor(spec, p.tables[t]); err == nil && f != nil {
 			r.gammaDB.SetStore(t, f)
 		}
 	}
@@ -414,6 +465,8 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 	}
 	r.dirtyByID = make([]atomic.Bool, n)
 	r.versionByID = make([]*atomic.Int64, n)
+	r.prefixDirty = make([]atomic.Uint64, n)
+	r.prefixVerByID = make([]prefixGens, n)
 	r.stats.TableVersions = make(map[string]*atomic.Int64, n)
 	r.stats.Tables = make(map[string]*TableStats, n)
 	r.stats.StoreKinds = make(map[string]string, n)
@@ -479,14 +532,35 @@ func (p *Program) NewRun(opts Options) (*Run, error) {
 	}
 	r.executor = ex
 	r.curStrategy = strategy
-	r.slots = make([]putSlot, r.threads+1)
+	// Table affinity shards the Gamma tables across as many owners as there
+	// are workers; with one worker (or affinity off) everything collapses
+	// to one shard, which IS the pre-affinity layout. The shard map merges
+	// the same plan layers as the store selection above, so a "@N" suffix
+	// wins wherever its spec would.
+	r.tableShards = 1
+	if opts.TableAffinity && r.threads > 1 {
+		r.tableShards = r.threads
+	}
+	shardPlan := make(gamma.StorePlan, len(p.planHints)+len(opts.StorePlan))
+	for t, spec := range p.planHints {
+		shardPlan[t] = spec
+	}
+	for t, spec := range opts.StorePlan {
+		shardPlan[t] = spec
+	}
+	r.shardMap = gamma.NewShardMap(p.byID, r.tableShards, shardPlan)
+	// Put buffers are per-(worker slot, owner shard): slot s's sub-buffer
+	// for shard h lives at s*tableShards+h, so a worker's puts split by
+	// destination shard with no extra synchronisation and the boundary
+	// flush can merge shard-parallel.
+	r.slots = make([]putSlot, (r.threads+1)*r.tableShards)
 	// One reusable Ctx per slot: the batched firing path re-points its
 	// rule/trigger fields per group instead of allocating a Ctx per firing.
 	r.slotCtx = make([]Ctx, r.threads+1)
 	for i := range r.slotCtx {
 		r.slotCtx[i] = Ctx{run: r, slot: i}
 	}
-	r.sealed = make([]sealedRun, 0, r.threads+1)
+	r.sealed = make([]sealedRun, 0, len(r.slots))
 	r.phaseClock = opts.PhaseStats
 	r.dupFn = func(t *tuple.Tuple) {
 		r.statsByID[t.Schema().ID()].Duplicates.Add(1)
@@ -681,8 +755,10 @@ func (r *Run) beginStep(batch []*tuple.Tuple) []*tuple.Tuple {
 	}
 	// insertGroup dedup-inserts one group into its table's store, keeping
 	// the live tuples as a prefix of the group's own segment (writes never
-	// outrun reads, the usual filter-in-place discipline).
-	insertGroup := func(g *insGroup) {
+	// outrun reads, the usual filter-in-place discipline). shard >= 0
+	// routes the insert through the shard-scoped Gamma entry point, whose
+	// ownership check keeps affinity routing bugs loud.
+	insertGroup := func(g *insGroup, shard int) {
 		group := batch[g.lo:g.hi]
 		s := group[0].Schema()
 		id := s.ID()
@@ -695,20 +771,45 @@ func (r *Run) beginStep(batch []*tuple.Tuple) []*tuple.Tuple {
 		// lands in Gamma before any rule fires. Duplicates were already
 		// processed in an earlier step: set semantics say they are
 		// discarded and their rules do not re-fire.
-		live := gamma.InsertBatch(r.gammaDB.Table(s), group, group[:0:len(group)])
+		var live []*tuple.Tuple
+		if shard >= 0 {
+			live = r.shardMap.InsertBatch(r.gammaDB, shard, group, group[:0:len(group)])
+		} else {
+			live = gamma.InsertBatch(r.gammaDB.Table(s), group, group[:0:len(group)])
+		}
 		g.kept = len(live)
 		if g.kept > 0 {
 			r.dirtyByID[id].Store(true)
+			if r.prefixTrack.Load() && s.Arity() > 0 {
+				var mask uint64
+				for _, t := range live {
+					mask |= 1 << PrefixBucket(t.Field(0))
+				}
+				r.prefixDirty[id].Or(mask)
+			}
 		}
 		if dups := len(group) - g.kept; dups > 0 {
 			r.statsByID[id].Duplicates.Add(int64(dups))
 		}
 	}
-	if len(groups) > 1 && r.pool != nil && len(batch) >= shardInsertMin {
-		r.pool.For(len(groups), 1, func(i int) { insertGroup(&groups[i]) })
-	} else {
+	switch {
+	case r.tableShards > 1 && len(groups) > 1 && r.pool != nil && len(batch) >= shardInsertMin:
+		// Affinity mode fans the Gamma flush out by owner shard rather than
+		// per schema group: one pool task per shard, each inserting only
+		// the tables its shard owns — disjoint table sets, zero aliasing.
+		r.pool.For(r.tableShards, 1, func(sh int) {
+			for i := range groups {
+				g := &groups[i]
+				if r.shardMap.OwnerID(batch[g.lo].Schema().ID()) == sh {
+					insertGroup(g, sh)
+				}
+			}
+		})
+	case len(groups) > 1 && r.pool != nil && len(batch) >= shardInsertMin:
+		r.pool.For(len(groups), 1, func(i int) { insertGroup(&groups[i], -1) })
+	default:
 		for i := range groups {
-			insertGroup(&groups[i])
+			insertGroup(&groups[i], -1)
 		}
 	}
 	// Compact the kept prefixes into one contiguous live batch, preserving
@@ -719,6 +820,9 @@ func (r *Run) beginStep(batch []*tuple.Tuple) []*tuple.Tuple {
 	}
 	r.groupBuf = groups[:0]
 	r.stats.TotalLive += int64(len(live))
+	if r.tableShards > 1 {
+		r.buildFirePlan(live)
+	}
 	// External actions (paper §3) run on the coordinator, in deterministic
 	// order within the batch, before the batch's rules fire. anyAction
 	// keeps action-free steps from paying the scan.
@@ -733,13 +837,63 @@ func (r *Run) beginStep(batch []*tuple.Tuple) []*tuple.Tuple {
 	return live
 }
 
-// sealSlot takes slot's put buffer, sorts it by tuple.ComparePath, and
-// queues it as one pre-sorted run for the step's k-way merge. Safe to call
+// buildFirePlan chops the live batch (sorted by schema, so clustered by
+// owner shard into contiguous segments) into shard-homogeneous dispatch
+// tasks for the affinity-aware executors. A shard segment larger than the
+// step's chunk grain is split at the grain — the hot-table escape hatch: a
+// step funnelled through one table degenerates to plain chunked dispatch
+// (overflow chunks route round-robin past the owner) instead of
+// serialising on one worker. Correctness never depends on which worker
+// fires a task, because put itself keys buffers by (slot, owner shard).
+func (r *Run) buildFirePlan(live []*tuple.Tuple) {
+	tasks := r.fireTasks[:0]
+	grain := exec.ChunkGrain(len(live), r.threads)
+	for i := 0; i < len(live); {
+		sh := r.shardMap.OwnerID(live[i].Schema().ID())
+		j := i + 1
+		for j < len(live) && r.shardMap.OwnerID(live[j].Schema().ID()) == sh {
+			j++
+		}
+		for c, lo := 0, i; lo < j; c, lo = c+1, lo+grain {
+			hi := lo + grain
+			if hi > j {
+				hi = j
+			}
+			tasks = append(tasks, fireTask{lo: lo, hi: hi, route: sh + c})
+		}
+		i = j
+	}
+	r.fireTasks = tasks
+	r.fireLive = live
+}
+
+// affine, fireTaskCount, fireTask and fireTaskRoute back the sessionHost's
+// exec.AffineHost implementation.
+func (r *Run) affine() bool        { return r.tableShards > 1 }
+func (r *Run) fireTaskCount() int  { return len(r.fireTasks) }
+func (r *Run) taskRoute(i int) int { return r.fireTasks[i].route }
+
+func (r *Run) fireTask(i, slot int) {
+	t := r.fireTasks[i]
+	r.fireBatch(r.fireLive[t.lo:t.hi], slot)
+}
+
+// sealSlot takes worker slot's put buffers — one per Gamma shard under
+// affinity, exactly one otherwise — sorts each by tuple.ComparePath, and
+// queues them as pre-sorted runs for the step's merge. Safe to call
 // concurrently for distinct slots — this is how the parallel executors
 // move the flush sort off the coordinator — and a no-op for empty slots,
 // so sealing every slot defensively costs almost nothing.
 func (r *Run) sealSlot(slot int) {
-	sl := &r.slots[slot]
+	base := slot * r.tableShards
+	for sh := 0; sh < r.tableShards; sh++ {
+		r.sealIndex(base+sh, sh)
+	}
+}
+
+// sealIndex seals one (worker, shard) sub-buffer by raw r.slots index.
+func (r *Run) sealIndex(idx, shard int) {
+	sl := &r.slots[idx]
 	sl.mu.Lock()
 	buf := sl.buf
 	if len(buf) == 0 {
@@ -752,7 +906,7 @@ func (r *Run) sealSlot(slot int) {
 		slices.SortFunc(buf, tuple.ComparePath)
 	}
 	r.sealMu.Lock()
-	r.sealed = append(r.sealed, sealedRun{slot: slot, ts: buf})
+	r.sealed = append(r.sealed, sealedRun{slot: idx, shard: shard, ts: buf})
 	r.sealMu.Unlock()
 }
 
@@ -771,8 +925,10 @@ func (r *Run) endStep() {
 		}
 	}
 	for i := range r.slots {
-		r.sealSlot(i)
+		r.sealIndex(i, i%r.tableShards)
 	}
+	r.fireTasks = r.fireTasks[:0]
+	r.fireLive = nil
 	runs := r.sealed // workers are quiesced; drained under the lock below anyway
 	var flush []*tuple.Tuple
 	singleRun := len(runs) == 1
@@ -781,13 +937,21 @@ func (r *Run) endStep() {
 		// common sequential shape pays no copy at all.
 		flush = dedupSortedInPlace(runs[0].ts, r.dupFn)
 	} else if len(runs) > 1 {
-		rs := r.runsBuf[:0]
+		total := 0
 		for i := range runs {
-			rs = append(rs, runs[i].ts)
+			total += len(runs[i].ts)
 		}
-		flush = mergeRuns(rs, r.flushBuf[:0], r.dupFn)
-		clear(rs)
-		r.runsBuf = rs[:0]
+		if r.tableShards > 1 && r.pool != nil && total >= shardInsertMin {
+			flush = r.mergeByShard(runs)
+		} else {
+			rs := r.runsBuf[:0]
+			for i := range runs {
+				rs = append(rs, runs[i].ts)
+			}
+			flush = mergeRuns(rs, r.flushBuf[:0], r.dupFn)
+			clear(rs)
+			r.runsBuf = rs[:0]
+		}
 	}
 	var deltaStart time.Time
 	if r.phaseClock {
@@ -837,18 +1001,80 @@ func (r *Run) endStep() {
 	}
 }
 
+// mergeByShard is endStep's shard-parallel flush: sealed runs group by
+// owner shard, each shard's runs merge concurrently across the pool, and
+// a final cross-shard merge on the coordinator restores the global
+// ComparePath order. Set-semantics duplicates always share a schema and
+// therefore an owner shard, so the per-shard merges drop exactly the
+// tuples the global k-way merge would — the cross-shard pass re-checks
+// but can never find one, and the duplicate counters come out identical.
+func (r *Run) mergeByShard(runs []sealedRun) []*tuple.Tuple {
+	if r.shardRuns == nil {
+		r.shardRuns = make([][][]*tuple.Tuple, r.tableShards)
+		r.shardFlush = make([][]*tuple.Tuple, r.tableShards)
+	}
+	for i := range runs {
+		sh := runs[i].shard
+		r.shardRuns[sh] = append(r.shardRuns[sh], runs[i].ts)
+	}
+	r.pool.For(r.tableShards, 1, func(sh int) {
+		switch rs := r.shardRuns[sh]; len(rs) {
+		case 0:
+			r.shardFlush[sh] = r.shardFlush[sh][:0]
+		case 1:
+			// Borrow the lone run directly; the slot buffer is recycled by
+			// endStep only after the final merge has copied everything out.
+			r.shardFlush[sh] = append(r.shardFlush[sh][:0], dedupSortedInPlace(rs[0], r.dupFn)...)
+		default:
+			r.shardFlush[sh] = mergeRuns(rs, r.shardFlush[sh][:0], r.dupFn)
+		}
+	})
+	rs := r.runsBuf[:0]
+	for sh := range r.shardFlush {
+		if len(r.shardFlush[sh]) > 0 {
+			rs = append(rs, r.shardFlush[sh])
+		}
+		clear(r.shardRuns[sh])
+		r.shardRuns[sh] = r.shardRuns[sh][:0]
+	}
+	flush := mergeRuns(rs, r.flushBuf[:0], r.dupFn)
+	clear(rs)
+	r.runsBuf = rs[:0]
+	for sh := range r.shardFlush {
+		clear(r.shardFlush[sh])
+		r.shardFlush[sh] = r.shardFlush[sh][:0]
+	}
+	return flush
+}
+
 // foldDirty drains the per-table step-dirty bitset accumulated since the
 // previous quiescent boundary, bumping the change generation of every
-// table whose Gamma contents changed, and reports whether any did. Called
-// only by the session coordinator at a quiescent boundary (before waking
-// Quiesce waiters, so a woken subscriber always observes the new
-// generations).
+// table whose Gamma contents changed, and reports whether any did. When
+// prefix tracking is armed it also promotes each table's dirtied prefix
+// buckets to the new generation (an interval with no bucket information —
+// changes that predate arming, or that bypassed the instrumented insert
+// paths — conservatively dirties every bucket, so a filtered subscriber
+// can miss nothing). Called only by the session coordinator at a quiescent
+// boundary (before waking Quiesce waiters, so a woken subscriber always
+// observes the new generations).
 func (r *Run) foldDirty() bool {
 	any := false
+	track := r.prefixTrack.Load()
 	for i := range r.dirtyByID {
 		if r.dirtyByID[i].Swap(false) {
-			r.versionByID[i].Add(1)
+			gen := r.versionByID[i].Add(1)
 			any = true
+			if track {
+				mask := r.prefixDirty[i].Swap(0)
+				if mask == 0 {
+					mask = ^uint64(0)
+				}
+				for mask != 0 {
+					b := bits.TrailingZeros64(mask)
+					mask &= mask - 1
+					r.prefixVerByID[i][b].Store(gen)
+				}
+			}
 		}
 	}
 	return any
@@ -1014,11 +1240,21 @@ func (r *Run) put(ruleName string, from *tuple.Tuple, t *tuple.Tuple, slot int) 
 				return
 			}
 			r.dirtyByID[id].Store(true)
+			if r.prefixTrack.Load() && s.Arity() > 0 {
+				r.prefixDirty[id].Or(1 << PrefixBucket(t.Field(0)))
+			}
 		}
 		r.fire(t, slot)
 		return
 	}
-	sl := &r.slots[slot]
+	// Affinity splits each worker slot's buffer by the tuple's Gamma owner
+	// shard, so the boundary flush merges and inserts shard-parallel with
+	// zero aliasing; with one shard the index reduces to the plain slot.
+	idx := slot
+	if r.tableShards > 1 {
+		idx = slot*r.tableShards + r.shardMap.OwnerID(id)
+	}
+	sl := &r.slots[idx]
 	sl.mu.Lock()
 	sl.buf = append(sl.buf, t)
 	sl.mu.Unlock()
@@ -1053,6 +1289,15 @@ func (r *Run) Threads() int {
 	}
 	return r.threads
 }
+
+// workerSlots returns the number of worker put slots (the coordinator plus
+// the workers) — NOT len(r.slots), which under affinity counts the
+// (worker, shard) sub-buffers.
+func (r *Run) workerSlots() int { return r.threads + 1 }
+
+// TableShards reports the Gamma owner-shard count of the run (1 unless
+// Options.TableAffinity sharded the tables).
+func (r *Run) TableShards() int { return r.tableShards }
 
 // Execute is the one-call convenience: build a run, execute it, return it.
 func (p *Program) Execute(opts Options) (*Run, error) {

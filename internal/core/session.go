@@ -265,23 +265,30 @@ func (s *Session) wakeWaiters() {
 
 // absorb moves every pending ingress event into the engine via the
 // coordinator's put path, shard i draining into put-buffer slot i (mod the
-// slot count) — so absorbed events reach the step boundary already spread
-// across the slots SealSlot sorts in parallel, instead of piling into
-// slot 0. Returns how many were absorbed; only the coordinator loop calls
-// it.
+// worker-slot count) — so absorbed events reach the step boundary already
+// spread across the slots SealSlot sorts in parallel, instead of piling
+// into slot 0. Under TableAffinity the route is per tuple instead of per
+// lane: each event lands in the slot of the worker owning its table, so an
+// external tuple is buffered, flushed, fired and stored on one core.
+// Returns how many were absorbed; only the coordinator loop calls it.
 func (s *Session) absorb() int {
 	ing := s.ing.Load()
 	if ing == nil {
 		return 0
 	}
-	slots := len(s.run.slots)
+	slots := s.run.workerSlots()
+	affine := s.run.affine()
 	total := 0
 	for shard := 0; shard < ing.ring.Shards(); shard++ {
 		slot := shard % slots
 		n := ing.ring.Poll(shard, func(_ int64, ev *ingressEvent) bool {
 			t := ev.t
 			ev.t = nil
-			s.run.put("event", nil, t, slot)
+			sl := slot
+			if affine {
+				sl = int(s.run.shardMap.OwnerID(t.Schema().ID())) % slots
+			}
+			s.run.put("event", nil, t, sl)
 			return true
 		})
 		if n > 0 {
@@ -402,8 +409,12 @@ func (s *Session) Migrate(table, spec string) error {
 	if sch == nil {
 		return fmt.Errorf("jstar: migrate %s: unknown table (declared: %s)", table, s.run.prog.knownTables())
 	}
-	if _, err := gamma.FactoryFor(spec, sch); err != nil {
+	f, err := gamma.FactoryFor(spec, sch)
+	if err != nil {
 		return err
+	}
+	if f == nil {
+		return fmt.Errorf("jstar: migrate %s: spec %q is ownership-only (no store kind); shard ownership is fixed when the run is built", table, spec)
 	}
 	req := &migrateRequest{schema: sch, spec: spec, done: make(chan error, 1)}
 	s.mu.Lock()
@@ -614,6 +625,46 @@ func (s *Session) WaitChange(ctx context.Context, table string, since int64) (in
 	}
 }
 
+// TrackPrefixes arms per-prefix change tracking: from the next step on,
+// the engine records which leading-column hash buckets (PrefixBucket over
+// a tuple's first field) changed each quiescent window, and PrefixVersion
+// reports per-bucket generations. Tracking costs one hash per kept tuple,
+// so it stays off until the first prefix-filtered subscriber arms it.
+// Arming is idempotent and safe from any goroutine.
+func (s *Session) TrackPrefixes() { s.run.prefixTrack.Store(true) }
+
+// PrefixVersion returns table's quiesced-change generation restricted to
+// one prefix bucket: the table-wide generation (TableVersion) at the last
+// quiescent boundary where a kept tuple hashed into that bucket. A
+// subscriber filtering on a key prefix waits on WaitChange and then skips
+// wakeups whose PrefixVersion for its bucket has not passed its watermark.
+// The tracking is conservative — windows that changed before TrackPrefixes
+// was armed, or whose dirty mask was lost, promote every bucket — so a
+// filtered subscriber may see a spurious wakeup but never misses a change.
+func (s *Session) PrefixVersion(table string, bucket int) (int64, error) {
+	sch := s.run.prog.tables[table]
+	if sch == nil {
+		return 0, fmt.Errorf("jstar: prefix version %s: unknown table (declared: %s)", table, s.run.prog.knownTables())
+	}
+	if bucket < 0 || bucket >= prefixBuckets {
+		return 0, fmt.Errorf("jstar: prefix version %s: bucket %d out of range [0,%d)", table, bucket, prefixBuckets)
+	}
+	return s.run.prefixVerByID[sch.ID()][bucket].Load(), nil
+}
+
+// IngressBacklog reports how many published external tuples have not yet
+// been absorbed by the coordinator, and the ingress ring's total capacity
+// — the signal admission controllers use to shed load before producers
+// block on ring backpressure. Before the first Put (no ring yet) the
+// backlog is zero and the capacity is the configured Options.IngressRing.
+func (s *Session) IngressBacklog() (pending int64, capacity int) {
+	ing := s.ing.Load()
+	if ing == nil {
+		return 0, s.run.opts.ingressRing()
+	}
+	return ing.ring.PendingCount(), ing.ring.Capacity()
+}
+
 // Stats returns the run statistics. Read them only at quiescence (after
 // Quiesce returns nil, or after Close): several RunStats fields (Steps,
 // Elapsed, TotalLive, MaxBatch) are plain values written by the
@@ -678,3 +729,11 @@ func (h sessionHost) FireBatch(ts []*tuple.Tuple, slot int)     { h.s.run.fireBa
 func (h sessionHost) SealSlot(slot int)                         { h.s.run.sealSlot(slot) }
 func (h sessionHost) EndStep()                                  { h.s.run.endStep() }
 func (h sessionHost) Err() error                                { return h.s.run.loadFail() }
+
+// exec.AffineHost: expose the run's table-affine fire plan (built by
+// beginStep when Options.TableAffinity is on) so the parallel strategies
+// dispatch shard-owned tasks to the workers pinned to those shards.
+func (h sessionHost) Affine() bool         { return h.s.run.affine() }
+func (h sessionHost) Tasks() int           { return h.s.run.fireTaskCount() }
+func (h sessionHost) FireTask(i, slot int) { h.s.run.fireTask(i, slot) }
+func (h sessionHost) TaskRoute(i int) int  { return h.s.run.taskRoute(i) }

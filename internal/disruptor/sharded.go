@@ -109,6 +109,24 @@ func (r *ShardedRing[T]) Pending() bool {
 	return false
 }
 
+// PendingCount returns the total number of published-but-unconsumed events
+// across all shards — the backlog admission controllers compare against
+// Capacity to shed load before publishers block. The per-shard reads are
+// not a single atomic snapshot; the count is a monotonic-enough gauge, not
+// an exact barrier.
+func (r *ShardedRing[T]) PendingCount() int64 {
+	var n int64
+	for i, c := range r.cons {
+		if d := r.prods[i].Claimed() - c.Seq(); d > 0 {
+			n += d
+		}
+	}
+	return n
+}
+
+// Capacity returns the total slot count across all shards.
+func (r *ShardedRing[T]) Capacity() int { return len(r.shards) * r.shards[0].Size() }
+
 // Release un-gates publishers blocked on any full shard; the consuming
 // side calls it at shutdown (see Ring.Release).
 func (r *ShardedRing[T]) Release() {

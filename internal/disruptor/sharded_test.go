@@ -88,7 +88,7 @@ func TestShardedRingParityWithMultiRing(t *testing.T) {
 		wg.Wait()
 	}
 
-	single := NewMultiRing[event](1 << 15, &BlockingWait{})
+	single := NewMultiRing[event](1<<15, &BlockingWait{})
 	sp := single.NewMultiProducer()
 	sc := single.NewConsumer()
 	produce(func(v int64) { sp.Publish(func(e *event) { e.val = v }) })

@@ -147,6 +147,30 @@ type Host interface {
 	Err() error
 }
 
+// AffineHost is the optional Host extension for table-affine execution
+// (core.Options.TableAffinity). When Affine() reports true the host has
+// pre-partitioned the current step's live batch into Tasks() fire tasks,
+// each covering tuples owned by a single Gamma shard; TaskRoute(i) names
+// that shard. Parallel strategies then dispatch whole tasks instead of
+// cutting their own grain-sized chunks, steering each task toward the
+// worker pinned to its shard: ForkJoin orders tasks so workers claim their
+// own shards first (best-effort — work stealing may still rebalance),
+// Pipelined claims events by route instead of sequence residue
+// (deterministic pinning). Correctness never depends on the steering: the
+// host buffers puts per (slot, shard), so any worker may fire any task.
+type AffineHost interface {
+	Host
+	// Affine reports whether the current step was planned table-affine.
+	// Hosts may decline per step (tiny batches are not worth routing).
+	Affine() bool
+	// Tasks returns the number of fire tasks in the current step's plan.
+	Tasks() int
+	// FireTask fires task i, buffering puts under slot.
+	FireTask(i, slot int)
+	// TaskRoute returns the owner shard of task i's tuples.
+	TaskRoute(i int) int
+}
+
 // Pool abstracts the fork/join pool an Executor schedules on (implemented
 // by forkjoin.Pool and core.PoolRef).
 type Pool interface {
@@ -308,6 +332,25 @@ func (e *forkJoin) Drain(h Host) error {
 			return h.Err()
 		}
 		live := h.BeginStep(batch)
+		if ah, ok := h.(AffineHost); ok && ah.Affine() {
+			// Table-affine step: the host pre-partitioned live into
+			// shard-owned tasks. Dispatch them as-is — the plan's task order
+			// groups each shard's tasks contiguously, so the pool's range
+			// claiming tends to keep a shard on one worker; stealing may
+			// rebalance, which is safe because puts key on (slot, shard).
+			if n := ah.Tasks(); n == 1 {
+				ah.FireTask(0, 0)
+			} else if n > 1 {
+				e.pool.ForWorker(n, 1, func(slot, i int) {
+					ah.FireTask(i, slot)
+				})
+				e.pool.ForWorker(e.pool.Size()+1, 1, func(_, s int) {
+					h.SealSlot(s)
+				})
+			}
+			h.EndStep()
+			continue
+		}
 		grain := ChunkGrain(len(live), e.pool.Size())
 		if len(live) <= grain {
 			if len(live) > 0 {

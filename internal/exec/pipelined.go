@@ -15,8 +15,14 @@ import (
 type pipeEvent struct {
 	ts   []*tuple.Tuple
 	host Host
-	seal bool
-	stop bool
+	// task/route carry table-affine fire tasks (AffineHost): task is the
+	// index passed to FireTask, route the owner shard steering the event to
+	// one consumer. Both are -1 for ordinary chunk, seal and stop events,
+	// which are claimed by sequence residue as before.
+	task  int
+	route int64
+	seal  bool
+	stop  bool
 }
 
 // pipelined streams each step's live tuples through a single-producer
@@ -86,13 +92,24 @@ func (e *pipelined) start() {
 				if ev.stop {
 					return false
 				}
-				if seq%int64(e.consumers) == idx {
-					if ev.seal {
+				// Ordinary events shard by sequence residue; table-affine
+				// task events shard by owner route, so every task of one
+				// shard lands on the same consumer — deterministic pinning,
+				// the tuple's table stays hot in that worker's cache.
+				mine := seq%int64(e.consumers) == idx
+				if ev.route >= 0 {
+					mine = ev.route%int64(e.consumers) == idx
+				}
+				if mine {
+					switch {
+					case ev.seal:
 						// A consumer processes its sequences in order, so
 						// by its seal event all its fire segments for the
 						// step are done and its slot is stable.
 						ev.host.SealSlot(slot)
-					} else {
+					case ev.task >= 0:
+						ev.host.(AffineHost).FireTask(ev.task, slot)
+					default:
 						ev.host.FireBatch(ev.ts, slot)
 					}
 				}
@@ -114,6 +131,32 @@ func (e *pipelined) Drain(h Host) error {
 			return h.Err()
 		}
 		live := h.BeginStep(batch)
+		if ah, ok := h.(AffineHost); ok && ah.Affine() {
+			// Table-affine step: publish one event per pre-planned fire
+			// task, routed to the consumer owning the task's shard. Seal
+			// markers stay residue-claimed so each consumer still sees
+			// exactly one, after all its routed tasks.
+			if n := ah.Tasks(); n == 1 {
+				ah.FireTask(0, 0)
+			} else if n > 1 {
+				for i := 0; i < n; i++ {
+					task, route := i, int64(ah.TaskRoute(i))
+					e.prod.Publish(func(ev *pipeEvent) {
+						ev.ts, ev.host, ev.seal, ev.stop = nil, h, false, false
+						ev.task, ev.route = task, route
+					})
+				}
+				for i := 0; i < e.consumers; i++ {
+					e.prod.Publish(func(ev *pipeEvent) {
+						ev.ts, ev.host, ev.seal, ev.stop = nil, h, true, false
+						ev.task, ev.route = -1, -1
+					})
+				}
+				e.ring.WaitConsumed(e.ring.Cursor())
+			}
+			h.EndStep()
+			continue
+		}
 		grain := ChunkGrain(len(live), e.consumers)
 		if len(live) <= grain {
 			// A lone segment gains nothing from the ring round-trip; fire it
@@ -125,6 +168,7 @@ func (e *pipelined) Drain(h Host) error {
 			fireChunks(live, grain, func(chunk []*tuple.Tuple, _ int) {
 				e.prod.Publish(func(ev *pipeEvent) {
 					ev.ts, ev.host, ev.seal, ev.stop = chunk, h, false, false
+					ev.task, ev.route = -1, -1
 				})
 			})
 			// Seal round: one marker per consumer. The markers' sequences
@@ -134,6 +178,7 @@ func (e *pipelined) Drain(h Host) error {
 			for i := 0; i < e.consumers; i++ {
 				e.prod.Publish(func(ev *pipeEvent) {
 					ev.ts, ev.host, ev.seal, ev.stop = nil, h, true, false
+					ev.task, ev.route = -1, -1
 				})
 			}
 			e.ring.WaitConsumed(e.ring.Cursor())
@@ -149,6 +194,9 @@ func (e *pipelined) Close() {
 		return
 	}
 	e.closed = true
-	e.prod.Publish(func(ev *pipeEvent) { ev.ts, ev.host, ev.seal, ev.stop = nil, nil, false, true })
+	e.prod.Publish(func(ev *pipeEvent) {
+		ev.ts, ev.host, ev.seal, ev.stop = nil, nil, false, true
+		ev.task, ev.route = -1, -1
+	})
 	e.wg.Wait()
 }

@@ -1,0 +1,87 @@
+package gamma
+
+import (
+	"fmt"
+
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// This file defines table ownership for the table-affine execution mode:
+// every registered schema is assigned to exactly one of P owner shards, so
+// a worker pinned to shard i can insert into and select from its tables
+// with no cross-shard coordination beyond what the store itself needs.
+// Ownership is a pure function of the dense schema ID (a Fibonacci hash),
+// overridable per table through the same StorePlan strings that pick store
+// kinds — a "@N" suffix pins the table to shard N (see SplitShard).
+
+// ShardMap assigns each registered schema to one of Shards() owner shards.
+// It is immutable after NewShardMap, so lookups are a bounds check plus an
+// array load and need no synchronisation.
+type ShardMap struct {
+	shards int
+	owner  []int32 // indexed by dense schema ID
+}
+
+// fibMult is the 64-bit Fibonacci multiplier (2^64/phi); multiplying the
+// schema ID by it and taking high bits spreads consecutive IDs across
+// shards far better than a plain modulus, which would stripe a program's
+// tables in registration order.
+const fibMult = 0x9E3779B97F4A7C15
+
+// NewShardMap assigns every schema in schemas (indexed by dense ID, as
+// registered with DB.Register) to one of `shards` owner shards by schema-ID
+// hash. A plan entry with a "@N" shard suffix overrides the hash for that
+// table (N is taken modulo the shard count, so a plan tuned for a wider
+// machine still applies).
+func NewShardMap(schemas []*tuple.Schema, shards int, plan StorePlan) *ShardMap {
+	if shards < 1 {
+		shards = 1
+	}
+	m := &ShardMap{shards: shards, owner: make([]int32, len(schemas))}
+	for id, s := range schemas {
+		if s == nil {
+			continue
+		}
+		m.owner[id] = int32((uint64(id) * fibMult >> 32) % uint64(shards))
+		if spec, ok := plan[s.Name]; ok {
+			if _, sh, has, err := SplitShard(spec); has && err == nil {
+				m.owner[id] = int32(sh % shards)
+			}
+		}
+	}
+	return m
+}
+
+// Shards returns the owner-shard count.
+func (m *ShardMap) Shards() int { return m.shards }
+
+// Owner returns the shard owning schema s.
+func (m *ShardMap) Owner(s *tuple.Schema) int { return int(m.owner[s.ID()]) }
+
+// OwnerID returns the shard owning the schema with dense ID id.
+func (m *ShardMap) OwnerID(id int32) int { return int(m.owner[id]) }
+
+// InsertBatch inserts the schema-homogeneous sorted run ts into shard's
+// copy of the table, appending kept (non-duplicate) tuples to live — the
+// shard-scoped twin of the package-level InsertBatch. It panics when the
+// table is not owned by shard: affinity routing bugs must fail loudly, not
+// silently serialise on a foreign shard's store.
+func (m *ShardMap) InsertBatch(db *DB, shard int, ts []*tuple.Tuple, live []*tuple.Tuple) []*tuple.Tuple {
+	if len(ts) == 0 {
+		return live
+	}
+	s := ts[0].Schema()
+	if got := m.Owner(s); got != shard {
+		panic(fmt.Sprintf("gamma: shard %d asked to insert into table %s owned by shard %d", shard, s.Name, got))
+	}
+	return InsertBatch(db.Table(s), ts, live)
+}
+
+// SelectBatch runs the query batch qs against shard's copy of table s,
+// with the same ownership panic as InsertBatch.
+func (m *ShardMap) SelectBatch(db *DB, shard int, s *tuple.Schema, qs []Query, fn func(qi int, t *tuple.Tuple) bool) {
+	if got := m.Owner(s); got != shard {
+		panic(fmt.Sprintf("gamma: shard %d asked to select from table %s owned by shard %d", shard, s.Name, got))
+	}
+	SelectBatch(db.Table(s), qs, fn)
+}

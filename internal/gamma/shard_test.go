@@ -1,0 +1,147 @@
+package gamma
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"testing"
+
+	"github.com/jstar-lang/jstar/internal/tuple"
+)
+
+// shardSchemas builds n single-int-column schemas with dense IDs 0..n-1.
+func shardSchemas(n int) []*tuple.Schema {
+	out := make([]*tuple.Schema, n)
+	for i := range out {
+		s := tuple.MustSchema(fmt.Sprintf("T%d", i),
+			[]tuple.Column{{Name: "v", Kind: tuple.KindInt}}, nil)
+		s.SetID(int32(i))
+		out[i] = s
+	}
+	return out
+}
+
+func TestShardMapAssignsAndOverrides(t *testing.T) {
+	schemas := shardSchemas(16)
+	m := NewShardMap(schemas, 4, StorePlan{
+		"T3": "skip@2",   // store + ownership override
+		"T5": "@1",       // ownership-only override
+		"T7": "hash:1@9", // out-of-range shard wraps modulo the count
+		"T9": "skip@x",   // malformed suffix: ignored, hash assignment kept
+	})
+	if m.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", m.Shards())
+	}
+	counts := make([]int, 4)
+	for _, s := range schemas {
+		o := m.Owner(s)
+		if o < 0 || o >= 4 {
+			t.Fatalf("table %s owner %d out of range", s.Name, o)
+		}
+		if o != m.OwnerID(s.ID()) {
+			t.Fatalf("Owner and OwnerID disagree for %s", s.Name)
+		}
+		counts[o]++
+	}
+	if m.Owner(schemas[3]) != 2 {
+		t.Errorf("T3 owner = %d, want pinned shard 2", m.Owner(schemas[3]))
+	}
+	if m.Owner(schemas[5]) != 1 {
+		t.Errorf("T5 owner = %d, want pinned shard 1", m.Owner(schemas[5]))
+	}
+	if m.Owner(schemas[7]) != 9%4 {
+		t.Errorf("T7 owner = %d, want %d (9 mod 4)", m.Owner(schemas[7]), 9%4)
+	}
+	// The hash must actually spread 16 tables over 4 shards: no shard may
+	// be empty and none may own more than half the tables.
+	for sh, c := range counts {
+		if c == 0 || c > 8 {
+			t.Errorf("shard %d owns %d of 16 tables; hash is not spreading", sh, c)
+		}
+	}
+	// Determinism: the same inputs yield the same map.
+	m2 := NewShardMap(schemas, 4, StorePlan{"T3": "skip@2", "T5": "@1", "T7": "hash:1@9", "T9": "skip@x"})
+	for _, s := range schemas {
+		if m.Owner(s) != m2.Owner(s) {
+			t.Fatalf("shard map is not deterministic for %s", s.Name)
+		}
+	}
+}
+
+func TestShardMapInsertSelectBatch(t *testing.T) {
+	schemas := shardSchemas(8)
+	m := NewShardMap(schemas, 2, nil)
+	db := NewDB(NewTreeStore)
+	db.Register(schemas)
+	s := schemas[4]
+	own := m.Owner(s)
+	run := []*tuple.Tuple{
+		tuple.New(s, tuple.Int(1)),
+		tuple.New(s, tuple.Int(2)),
+		tuple.New(s, tuple.Int(2)), // duplicate: dropped, not echoed to live
+	}
+	live := m.InsertBatch(db, own, run, nil)
+	if len(live) != 2 {
+		t.Fatalf("kept %d tuples, want 2", len(live))
+	}
+	var got []int64
+	m.SelectBatch(db, own, s, []Query{{}}, func(_ int, tp *tuple.Tuple) bool {
+		got = append(got, tp.Int("v"))
+		return true
+	})
+	slices.Sort(got)
+	if !slices.Equal(got, []int64{1, 2}) {
+		t.Fatalf("SelectBatch saw %v, want [1 2]", got)
+	}
+	// The ownership seam must fail loudly when routed to the wrong shard.
+	for _, fn := range []func(){
+		func() { m.InsertBatch(db, 1-own, []*tuple.Tuple{tuple.New(s, tuple.Int(9))}, nil) },
+		func() { m.SelectBatch(db, 1-own, s, nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("cross-shard access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSplitShard(t *testing.T) {
+	cases := []struct {
+		spec, base string
+		shard      int
+		ok, bad    bool
+	}{
+		{"hash:2", "hash:2", 0, false, false},
+		{"hash:2@1", "hash:2", 1, true, false},
+		{"skip@0", "skip", 0, true, false},
+		{"@2", "", 2, true, false},
+		{"skip@x", "skip", 0, true, true},
+		{"skip@-1", "skip", 0, true, true},
+	}
+	for _, c := range cases {
+		base, shard, ok, err := SplitShard(c.spec)
+		if base != c.base || ok != c.ok || (err != nil) != c.bad || (!c.bad && shard != c.shard) {
+			t.Errorf("SplitShard(%q) = (%q, %d, %v, %v), want (%q, %d, %v, bad=%v)",
+				c.spec, base, shard, ok, err, c.base, c.shard, c.ok, c.bad)
+		}
+	}
+	if KindName("hash:2@1") != "hash" || KindName("skip@0") != "skip" {
+		t.Error("KindName must strip the owner-shard suffix")
+	}
+	// FactoryFor strips the suffix, rejects malformed ones, and returns a
+	// nil factory for ownership-only specs.
+	s := shardSchemas(1)[0]
+	if f, err := FactoryFor("skip@1", s); err != nil || KindOf(f(s)) != "skip" {
+		t.Errorf("FactoryFor(skip@1) = (%v, %v), want skip factory", f, err)
+	}
+	if f, err := FactoryFor("@1", s); err != nil || f != nil {
+		t.Errorf("FactoryFor(@1) = (%v, %v), want (nil, nil)", f, err)
+	}
+	if _, err := FactoryFor("skip@x", s); err == nil || !strings.Contains(err.Error(), "owner-shard") {
+		t.Errorf("FactoryFor(skip@x) error = %v, want owner-shard complaint", err)
+	}
+}

@@ -43,7 +43,14 @@ type Config struct {
 	// ingestion requests (default 32); TenantConfig can override per
 	// tenant. Excess puts are rejected with 429 rather than queued, so a
 	// flooding client observes backpressure instead of unbounded memory.
+	// This is the fallback cap behind AdmitPendingFraction.
 	MaxInflightPuts int
+	// AdmitPendingFraction is the per-tenant default ingress-backpressure
+	// admission threshold: a put gets 429 when the session's unabsorbed
+	// ingress backlog exceeds this fraction of the ring capacity (default
+	// 0.75). TenantConfig can override per tenant; a negative value
+	// disables the ring check, leaving only the inflight semaphore.
+	AdmitPendingFraction float64
 	// MetricsCSV, when non-nil, receives one CSV row per served request
 	// (header first; see CSVHeader).
 	MetricsCSV io.Writer
@@ -70,6 +77,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxInflightPuts <= 0 {
 		cfg.MaxInflightPuts = 32
+	}
+	if cfg.AdmitPendingFraction == 0 {
+		cfg.AdmitPendingFraction = 0.75
 	}
 	if cfg.LongPollTimeout <= 0 {
 		cfg.LongPollTimeout = 30 * time.Second
@@ -209,7 +219,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request, m *Request
 		return fail(w, http.StatusBadRequest, err)
 	}
 	m.Tenant = cfg.Name
-	t, err := s.reg.create(s.ctx, cfg, s.cfg.MaxInflightPuts)
+	t, err := s.reg.create(s.ctx, cfg, s.cfg.MaxInflightPuts, s.cfg.AdmitPendingFraction)
 	switch {
 	case errors.Is(err, errTenantExists):
 		return fail(w, http.StatusConflict, err)
@@ -263,9 +273,9 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, m *RequestMet
 	if t == nil {
 		return status
 	}
-	if !t.tryAcquirePut() {
+	if err := t.admitPut(); err != nil {
 		w.Header().Set("Retry-After", "1")
-		return fail(w, http.StatusTooManyRequests, fmt.Errorf("serve: tenant %s ingestion quota exhausted", t.Name))
+		return fail(w, http.StatusTooManyRequests, err)
 	}
 	defer t.releasePut()
 	body := &countingReader{r: r.Body}
@@ -433,6 +443,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request, m *Requ
 	if err != nil {
 		return fail(w, http.StatusBadRequest, err)
 	}
+	// A prefix subscriber arms the engine's per-bucket dirty tracking
+	// before reading its watermark, so every window after the watermark
+	// carries bucket information for the filter.
+	if len(prefix) > 0 {
+		t.Session.TrackPrefixes()
+	}
 	since, err := t.Session.TableVersion(body.Table)
 	if err != nil {
 		return failErr(w, err)
@@ -484,7 +500,7 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request, m *RequestMe
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	v, err := t.Session.WaitChange(ctx, sub.Table, since)
+	v, err := sub.waitChange(ctx, t.Session, since)
 	if errors.Is(err, context.DeadlineExceeded) {
 		w.WriteHeader(http.StatusNoContent) // no change inside the window
 		return http.StatusNoContent
@@ -529,7 +545,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, m *Request
 	fmt.Fprintf(w, "event: hello\ndata: {\"table\":%q,\"version\":%d}\n\n", sub.Table, since)
 	flusher.Flush()
 	for {
-		v, err := t.Session.WaitChange(r.Context(), sub.Table, since)
+		v, err := sub.waitChange(r.Context(), t.Session, since)
 		if err != nil {
 			// Client gone, session closed, or failed: end the stream.
 			return http.StatusOK

@@ -584,3 +584,76 @@ func TestTenantInfoVersions(t *testing.T) {
 		t.Errorf("info = %+v", info)
 	}
 }
+
+// TestServePrefixFilteredSubscription pins the per-subscription prefix
+// filter: a subscriber watching one key prefix must sleep through table
+// changes that only touch other prefixes, and still wake for its own.
+func TestServePrefixFilteredSubscription(t *testing.T) {
+	_, client := newTestServer(t, serve.Config{})
+	ctx := context.Background()
+	if _, err := client.CreateTenant(ctx, serve.TenantConfig{Name: "t", Source: doubleSrc}); err != nil {
+		t.Fatal(err)
+	}
+	// Pick two keys hashing to different prefix buckets, so the filter has
+	// something to distinguish (bucket collisions wake spuriously by design).
+	mine := int64(5)
+	other := int64(-1)
+	for v := int64(6); v < 200; v++ {
+		if core.PrefixBucket(tuple.Int(v)) != core.PrefixBucket(tuple.Int(mine)) {
+			other = v
+			break
+		}
+	}
+	if other < 0 {
+		t.Fatal("no second prefix bucket found in 200 keys")
+	}
+	sub, err := client.Subscribe(ctx, "t", "Out", fmt.Sprintf("[%d]", mine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	since := sub.Version
+	// A change to a different prefix bumps the table version but must not
+	// wake the filtered subscriber.
+	if err := client.PutJSON(ctx, "t", "Event", [][]any{{other}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Quiesce(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := client.Poll(ctx, "t", sub.ID, since, 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("filtered subscriber woke for a foreign-prefix change")
+	}
+	// A change to the watched prefix must wake it.
+	if err := client.PutJSON(ctx, "t", "Event", [][]any{{mine}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Quiesce(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := client.Poll(ctx, "t", sub.ID, since, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("filtered subscriber missed a change to its own prefix")
+	}
+	if v <= since {
+		t.Fatalf("poll version %d did not advance past %d", v, since)
+	}
+	// An unfiltered subscriber on the same table sees every change.
+	all, err := client.Subscribe(ctx, "t", "Out", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutJSON(ctx, "t", "Event", [][]any{{other + 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Quiesce(ctx, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := client.Poll(ctx, "t", all.ID, all.Version, 5*time.Second); err != nil || !ok {
+		t.Fatalf("unfiltered subscriber: ok=%v err=%v, want a wakeup", ok, err)
+	}
+}

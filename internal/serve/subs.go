@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"github.com/jstar-lang/jstar/internal/core"
 	"github.com/jstar-lang/jstar/internal/tuple"
 )
 
@@ -15,14 +17,42 @@ import (
 // prefix query, so it sees exactly the sequence of quiesced states after
 // registration — the generation counter is monotonic and bumped before
 // waiters wake, which rules out both missed and phantom notifications.
+//
+// A prefix subscription additionally filters wakeups through the engine's
+// per-bucket dirty tracking (core.PrefixBucket over the leading prefix
+// value): a table change whose quiescent window never touched the
+// subscriber's bucket is swallowed instead of waking the client. The
+// filter is conservative — bucket collisions or windows without bucket
+// information wake spuriously, but a change to the prefix is never missed.
 type subscription struct {
 	ID     int64         `json:"id"`
 	Table  string        `json:"table"`
 	Prefix string        `json:"prefix,omitempty"` // raw JSON array, echoed back
 	prefix []tuple.Value // decoded once at registration
 
+	filtered bool // prefix given: gate wakeups on the bucket's generation
+	bucket   int  // core.PrefixBucket of prefix[0]
+
 	mu       sync.Mutex
 	lastSeen int64 // highest generation acknowledged by a poll
+}
+
+// waitChange is Session.WaitChange with the subscription's prefix filter
+// applied: table-generation wakeups whose prefix bucket has not changed
+// past the caller's watermark re-arm instead of returning, so a filtered
+// long-poll only completes when the subscriber's own key range did.
+func (s *subscription) waitChange(ctx context.Context, sess *core.Session, since int64) (int64, error) {
+	cur := since
+	for {
+		v, err := sess.WaitChange(ctx, s.Table, cur)
+		if err != nil || !s.filtered {
+			return v, err
+		}
+		if pv, perr := sess.PrefixVersion(s.Table, s.bucket); perr != nil || pv > since {
+			return v, nil
+		}
+		cur = v
+	}
 }
 
 // subHub is one tenant's subscription table.
@@ -47,6 +77,10 @@ func (h *subHub) add(table, rawPrefix string, prefix []tuple.Value, since int64)
 		Prefix:   rawPrefix,
 		prefix:   prefix,
 		lastSeen: since,
+	}
+	if len(prefix) > 0 {
+		s.filtered = true
+		s.bucket = core.PrefixBucket(prefix[0])
 	}
 	h.subs[s.ID] = s
 	return s

@@ -29,8 +29,17 @@ type TenantConfig struct {
 	IngressShards int `json:"ingress_shards,omitempty"`
 	ReplanEvery   int `json:"replan_every,omitempty"`
 	// MaxInflightPuts caps concurrent ingestion requests for this tenant
-	// (further puts get 429); 0 uses the server default.
+	// (further puts get 429); 0 uses the server default. Since admission is
+	// primarily ring-driven (AdmitPendingFraction), this is the fallback
+	// cap bounding request-handler goroutines rather than ring pressure.
 	MaxInflightPuts int `json:"max_inflight_puts,omitempty"`
+	// AdmitPendingFraction is the ingress-backpressure admission threshold:
+	// a put is rejected with 429 when the session's pending (published but
+	// unabsorbed) ingress events exceed this fraction of the ring capacity,
+	// so a flooding client is shed *before* its requests block on a full
+	// ring lane. 0 uses the server default; negative disables the ring
+	// check, leaving only the inflight semaphore.
+	AdmitPendingFraction float64 `json:"admit_pending_fraction,omitempty"`
 }
 
 var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
@@ -43,18 +52,30 @@ type Tenant struct {
 	Prog    *core.Program
 	Session *core.Session
 
-	inflight chan struct{} // ingestion-quota semaphore; acquire per put request
-	subs     *subHub
+	inflight  chan struct{} // fallback ingestion cap; acquire per put request
+	admitFrac float64       // ring-backpressure admission threshold (<0 disables)
+	subs      *subHub
 }
 
-// tryAcquirePut claims one ingestion slot without blocking, reporting
-// whether the quota had room. Release with releasePut.
-func (t *Tenant) tryAcquirePut() bool {
+// admitPut decides whether one ingestion request may proceed, without
+// blocking. Admission is driven by ingress-ring backpressure: when the
+// session's unabsorbed backlog exceeds admitFrac of the ring capacity the
+// put is shed here, with an error naming the pressure, instead of letting
+// the request block on a full ring lane deep inside PutBatch. The inflight
+// semaphore remains as a fallback cap on concurrent put handlers. Release
+// with releasePut on nil error.
+func (t *Tenant) admitPut() error {
+	if t.admitFrac >= 0 {
+		if pending, capacity := t.Session.IngressBacklog(); float64(pending) > t.admitFrac*float64(capacity) {
+			return fmt.Errorf("serve: tenant %s ingress backlog %d exceeds %.0f%% of ring capacity %d",
+				t.Name, pending, t.admitFrac*100, capacity)
+		}
+	}
 	select {
 	case t.inflight <- struct{}{}:
-		return true
+		return nil
 	default:
-		return false
+		return fmt.Errorf("serve: tenant %s ingestion quota exhausted", t.Name)
 	}
 }
 
@@ -76,7 +97,7 @@ func newRegistry(maxTenants int) *registry {
 // create compiles cfg.Source, starts a session with the tenant's options,
 // and registers the tenant. The name is reserved before compiling so two
 // concurrent creates of the same name cannot both win.
-func (r *registry) create(ctx context.Context, cfg TenantConfig, defaultInflight int) (*Tenant, error) {
+func (r *registry) create(ctx context.Context, cfg TenantConfig, defaultInflight int, defaultAdmit float64) (*Tenant, error) {
 	if !tenantNameRE.MatchString(cfg.Name) {
 		return nil, fmt.Errorf("serve: bad tenant name %q (want %s)", cfg.Name, tenantNameRE)
 	}
@@ -92,7 +113,7 @@ func (r *registry) create(ctx context.Context, cfg TenantConfig, defaultInflight
 	r.tenants[cfg.Name] = nil // reserve the name while compiling
 	r.mu.Unlock()
 
-	t, err := buildTenant(ctx, cfg, defaultInflight)
+	t, err := buildTenant(ctx, cfg, defaultInflight, defaultAdmit)
 	r.mu.Lock()
 	if err != nil {
 		delete(r.tenants, cfg.Name)
@@ -103,7 +124,7 @@ func (r *registry) create(ctx context.Context, cfg TenantConfig, defaultInflight
 	return t, err
 }
 
-func buildTenant(ctx context.Context, cfg TenantConfig, defaultInflight int) (*Tenant, error) {
+func buildTenant(ctx context.Context, cfg TenantConfig, defaultInflight int, defaultAdmit float64) (*Tenant, error) {
 	prog, err := lang.CompileSource(cfg.Source)
 	if err != nil {
 		return nil, fmt.Errorf("serve: compile tenant %s: %w", cfg.Name, err)
@@ -134,13 +155,18 @@ func buildTenant(ctx context.Context, cfg TenantConfig, defaultInflight int) (*T
 	if inflight <= 0 {
 		inflight = defaultInflight
 	}
+	admit := cfg.AdmitPendingFraction
+	if admit == 0 {
+		admit = defaultAdmit
+	}
 	return &Tenant{
-		Name:     cfg.Name,
-		Config:   cfg,
-		Prog:     prog,
-		Session:  sess,
-		inflight: make(chan struct{}, inflight),
-		subs:     newSubHub(),
+		Name:      cfg.Name,
+		Config:    cfg,
+		Prog:      prog,
+		Session:   sess,
+		inflight:  make(chan struct{}, inflight),
+		admitFrac: admit,
+		subs:      newSubHub(),
 	}, nil
 }
 

@@ -122,6 +122,17 @@
 // (pre-hashed on hash stores, single lock episode on tree stores) for the
 // whole chunk. Within one step, firing order across and inside chunks is
 // unspecified, exactly as the paper specifies for one parallel batch.
+//
+// Options.TableAffinity layers table-affine sharding over the parallel
+// strategies: every table is hashed (by schema ID, overridable with an
+// "@N" suffix in the store plan, e.g. "hash:2@1") to one of Threads owner
+// shards, fire chunks are grouped by owning shard and routed to the
+// pinned worker, put buffers are keyed by (worker, shard), and the
+// boundary Gamma flush and Delta merge fan out shard-parallel with no two
+// workers ever touching the same table's store. Results are bit-identical
+// to an affinity-off run — it is purely a locality/contention knob,
+// measured by the jstar-bench -speedup affinity sweep and ignored for
+// sequential runs.
 package jstar
 
 import (
