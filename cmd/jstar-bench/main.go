@@ -39,6 +39,7 @@ import (
 	"github.com/jstar-lang/jstar/internal/gamma"
 	"github.com/jstar-lang/jstar/internal/stats"
 	"github.com/jstar-lang/jstar/internal/tuple"
+	"github.com/jstar-lang/jstar/internal/wal"
 )
 
 type config struct {
@@ -94,6 +95,10 @@ func main() {
 	serveBatchRows := flag.Int("serve-batch-rows", 64, "tuples per -serve-load batch")
 	maxBoundaryFrac := flag.Float64("max-boundary-frac", 0,
 		"with -smoke: exit 1 if any app run's serial-boundary fraction exceeds this (0 disables; CI's regression gate)")
+	walSmoke := flag.Bool("wal", false,
+		"run the streaming-ingest workload WAL-off and WAL-on over a real log directory and report the durability overhead (schema 8)")
+	minWALRatio := flag.Float64("min-wal-ratio", 0.7,
+		"with -wal: exit 1 if WAL-on ingest throughput falls below this fraction of WAL-off (0 disables; CI's durability gate)")
 	flag.Parse()
 
 	// Validate before running anything: an unknown -strategy must abort
@@ -209,6 +214,11 @@ func main() {
 		ensureArt()
 		gateFailures = append(gateFailures,
 			serveLoadRun(art, *serveAddr, *serveClients, *serveBatches, *serveBatchRows)...)
+	}
+	if *walSmoke {
+		ran = true
+		ensureArt()
+		gateFailures = append(gateFailures, walRun(cfg, art, *minWALRatio)...)
 	}
 	if art != nil && *jsonPath != "" {
 		data, err := json.MarshalIndent(art, "", "  ")
@@ -660,8 +670,10 @@ type speedupRow struct {
 // rows (the dispatch/step-boundary microbenches re-run with
 // Options.TableAffinity on, marked affinity=true) plus the host's
 // procs_ladder in the header so trajectory diffs can reject artifacts
-// from mismatched hosts.
-const benchSchema = 7
+// from mismatched hosts; 8 durability report (the -wal WAL-off/WAL-on
+// ingest overhead comparison plus a timed checkpoint+replay recovery over
+// the directory the WAL-on run left behind).
+const benchSchema = 8
 
 // smokeArtifact is the BENCH_*.json schema CI uploads per run, so the
 // perf trajectory (and the batch-size distributions feeding store
@@ -685,6 +697,8 @@ type smokeArtifact struct {
 	Adaptive *adaptiveReport `json:"adaptive,omitempty"`
 	// Serve is the network-load latency report (schema 6; -serve-load only).
 	Serve *serveReport `json:"serve,omitempty"`
+	// Durability is the WAL overhead + recovery report (schema 8; -wal only).
+	Durability *durabilityReport `json:"durability,omitempty"`
 }
 
 // migrationRow is one live store migration in the adaptive report.
@@ -821,16 +835,7 @@ func smokeRun(cfg config, art *smokeArtifact, maxBoundaryFrac float64) []string 
 	// test-suite twin is BenchmarkSessionIngest).
 	const ingestEvents = 100_000
 	measure("session-ingest", ingestEvents, func() (*core.RunStats, time.Duration) {
-		p := core.NewProgram()
-		ev := p.Table("Event", []tuple.Column{{Name: "n", Kind: tuple.KindInt}},
-			[]tuple.OrderEntry{tuple.Lit("Event")})
-		out := p.Table("Out",
-			[]tuple.Column{{Name: "n", Kind: tuple.KindInt}, {Name: "v", Kind: tuple.KindInt}},
-			[]tuple.OrderEntry{tuple.Lit("Out")})
-		p.Order("Event", "Out")
-		p.Rule("double", ev, func(c *core.Ctx, t *tuple.Tuple) {
-			c.PutNew(out, tuple.Int(t.Int("n")), tuple.Int(2*t.Int("n")))
-		})
+		p, ev := ingestProgram()
 		sess, err := p.Start(context.Background(), core.Options{
 			Strategy: cfg.strategy, Threads: threads, Quiet: true, PhaseStats: true})
 		must(err)
@@ -858,6 +863,161 @@ func smokeRun(cfg config, art *smokeArtifact, maxBoundaryFrac float64) []string 
 		}
 	}
 	fmt.Println()
+	return failures
+}
+
+// ingestProgram builds the streaming-ingestion workload shared by the
+// session-ingest smoke row and the -wal durability report: external
+// Event(n) puts fanned out to Out(n, 2n) by one rule.
+func ingestProgram() (*core.Program, *tuple.Schema) {
+	p := core.NewProgram()
+	ev := p.Table("Event", []tuple.Column{{Name: "n", Kind: tuple.KindInt}},
+		[]tuple.OrderEntry{tuple.Lit("Event")})
+	out := p.Table("Out",
+		[]tuple.Column{{Name: "n", Kind: tuple.KindInt}, {Name: "v", Kind: tuple.KindInt}},
+		[]tuple.OrderEntry{tuple.Lit("Out")})
+	p.Order("Event", "Out")
+	p.Rule("double", ev, func(c *core.Ctx, t *tuple.Tuple) {
+		c.PutNew(out, tuple.Int(t.Int("n")), tuple.Int(2*t.Int("n")))
+	})
+	return p, ev
+}
+
+// --- durability overhead + recovery (-wal) ----------------------------------
+
+// durabilityReport is the -wal report (schema 8): the streaming-ingest
+// workload measured with the WAL off and on (real directory, real fsyncs),
+// the log's counters after the durable run, and a timed recovery — newest
+// checkpoint plus tail replay — over the directory that run left behind.
+type durabilityReport struct {
+	Events          int     `json:"events"`
+	WalOffEventsSec float64 `json:"wal_off_events_per_sec"`
+	WalOnEventsSec  float64 `json:"wal_on_events_per_sec"`
+	// Ratio is WAL-on / WAL-off throughput — the CI gate's number.
+	Ratio         float64 `json:"ratio"`
+	GroupCommits  int64   `json:"group_commits"`
+	WALBytes      int64   `json:"wal_bytes"`
+	Segments      int     `json:"segments"`
+	CheckpointSeq uint64  `json:"checkpoint_seq"`
+	// RecoverNs is Start-to-quiesced over the logged directory; the
+	// recovery rows say what that time paid for.
+	RecoverNs        int64  `json:"recover_ns"`
+	RecoveredTuples  int    `json:"recovered_tuples"`
+	ReplayedEvents   int    `json:"replayed_events"`
+	RecoveryDurable  uint64 `json:"recovery_durable_seq"`
+	TruncatedBytes   int64  `json:"truncated_bytes"`
+	CheckpointTables int    `json:"checkpoint_tables"`
+}
+
+// walRun measures the durability tier: ingest throughput WAL-off vs
+// WAL-on, then a timed recovery. A non-zero minRatio is the CI overhead
+// gate — the durable path must keep at least that fraction of the
+// in-memory path's throughput.
+func walRun(cfg config, art *smokeArtifact, minRatio float64) []string {
+	fmt.Println("== Durability smoke (-wal) ==")
+	threads := runtime.NumCPU()
+	const events = 100_000
+	ctx := context.Background()
+
+	runIngest := func(dur *core.DurabilityOptions, checkpoint bool) (time.Duration, wal.Stats) {
+		p, ev := ingestProgram()
+		sess, err := p.Start(ctx, core.Options{
+			Strategy: cfg.strategy, Threads: threads, Quiet: true, Durability: dur})
+		must(err)
+		start := time.Now()
+		for j := int64(0); j < events; j++ {
+			must(sess.Put(tuple.New(ev, tuple.Int(j))))
+		}
+		must(sess.Quiesce(ctx))
+		d := time.Since(start)
+		if checkpoint {
+			_, err := sess.Checkpoint(ctx)
+			must(err)
+		}
+		st, _ := sess.WALStats()
+		must(sess.Close())
+		return d, st
+	}
+
+	var off time.Duration = 1<<62 - 1
+	for i := 0; i < cfg.repeats; i++ {
+		if d, _ := runIngest(nil, false); d < off {
+			off = d
+		}
+	}
+
+	var (
+		on    time.Duration = 1<<62 - 1
+		onSt  wal.Stats
+		onDir string
+	)
+	for i := 0; i < cfg.repeats; i++ {
+		dir, err := os.MkdirTemp("", "jstar-wal-bench")
+		must(err)
+		d, st := runIngest(&core.DurabilityOptions{Dir: dir, Identity: "bench"}, true)
+		if d < on {
+			on, onSt = d, st
+			if onDir != "" {
+				os.RemoveAll(onDir)
+			}
+			onDir = dir
+		} else {
+			os.RemoveAll(dir)
+		}
+	}
+	defer os.RemoveAll(onDir)
+
+	// Recovery: a fresh program over the best run's directory, timed from
+	// Start to the first quiescent boundary (checkpoint load + tail replay
+	// + re-derivation all included).
+	p2, _ := ingestProgram()
+	t0 := time.Now()
+	sess2, err := p2.Start(ctx, core.Options{
+		Strategy: cfg.strategy, Threads: threads, Quiet: true,
+		Durability: &core.DurabilityOptions{Dir: onDir, Identity: "bench"}})
+	must(err)
+	must(sess2.Quiesce(ctx))
+	recoverNs := time.Since(t0).Nanoseconds()
+	rec := sess2.Recovery()
+	recoveredOut := len(sess2.Snapshot(p2.Schema("Out")))
+	must(sess2.Close())
+	if rec == nil {
+		must(fmt.Errorf("jstar-bench: recovery over %s reported nothing", onDir))
+	}
+	if recoveredOut != events {
+		must(fmt.Errorf("jstar-bench: recovered %d Out rows, want %d", recoveredOut, events))
+	}
+
+	rep := &durabilityReport{
+		Events:           events,
+		WalOffEventsSec:  float64(events) / off.Seconds(),
+		WalOnEventsSec:   float64(events) / on.Seconds(),
+		GroupCommits:     onSt.GroupCommits,
+		WALBytes:         onSt.Bytes,
+		Segments:         onSt.Segments,
+		CheckpointSeq:    onSt.CheckpointSeq,
+		RecoverNs:        recoverNs,
+		RecoveredTuples:  rec.CheckpointTuples,
+		ReplayedEvents:   rec.Replayed,
+		RecoveryDurable:  rec.DurableSeq,
+		TruncatedBytes:   rec.TruncatedBytes,
+		CheckpointTables: rec.CheckpointTables,
+	}
+	rep.Ratio = rep.WalOnEventsSec / rep.WalOffEventsSec
+	art.Durability = rep
+	fmt.Printf("wal-off %11.0f events/sec\nwal-on  %11.0f events/sec  ratio=%.2f  commits=%d  bytes=%d  ckpt-seq=%d\nrecover %11v  (%d ckpt tuples + %d replayed)\n\n",
+		rep.WalOffEventsSec, rep.WalOnEventsSec, rep.Ratio, rep.GroupCommits,
+		rep.WALBytes, rep.CheckpointSeq, time.Duration(recoverNs).Round(time.Microsecond),
+		rep.RecoveredTuples, rep.ReplayedEvents)
+
+	var failures []string
+	if minRatio > 0 && rep.Ratio < minRatio {
+		failures = append(failures, fmt.Sprintf(
+			"jstar-bench: WAL-on ingest throughput is %.2fx WAL-off, below the -min-wal-ratio gate (%.2f)",
+			rep.Ratio, minRatio))
+	} else if minRatio > 0 {
+		fmt.Printf("durability gate: WAL overhead within budget (%.2fx >= %.2fx)\n", rep.Ratio, minRatio)
+	}
 	return failures
 }
 

@@ -9,8 +9,8 @@ import (
 // benchSchema (and this test) whenever a field is added, so downstream
 // trajectory tooling can dispatch on it.
 func TestArtifactSchemaVersion(t *testing.T) {
-	if benchSchema != 7 {
-		t.Fatalf("benchSchema = %d, want 7 (update the schema history comment and this pin together)", benchSchema)
+	if benchSchema != 8 {
+		t.Fatalf("benchSchema = %d, want 8 (update the schema history comment and this pin together)", benchSchema)
 	}
 	if got := newArtifact(config{repeats: 3}).Schema; got != benchSchema {
 		t.Fatalf("newArtifact schema = %d, want %d", got, benchSchema)
@@ -191,6 +191,38 @@ func TestArtifactSchema6Compat(t *testing.T) {
 	}
 	if art.Speedup[0].Affinity {
 		t.Fatal("schema-6 speedup row misparsed as affinity")
+	}
+}
+
+// TestArtifactSchema7Compat: a schema-7 BENCH file (affinity speedup rows
+// and a procs ladder, no durability report) must still unmarshal into the
+// current artifact struct — the fields through schema 7 are append-only,
+// and the schema-8 Durability field stays nil.
+func TestArtifactSchema7Compat(t *testing.T) {
+	const schema7 = `{
+  "schema": 7,
+  "strategy": "auto",
+  "gomaxprocs": 4,
+  "numcpu": 4,
+  "procs_ladder": [1, 2, 4],
+  "go_version": "go1.22.0",
+  "repeats": 5,
+  "runs": [],
+  "step_boundary": [],
+  "speedup": [
+    {"name": "dispatch", "strategy": "forkjoin", "gomaxprocs": 4, "threads": 4,
+     "elapsed_ns": 1000000, "speedup": 2.5, "affinity": true}
+  ]
+}`
+	var art smokeArtifact
+	if err := json.Unmarshal([]byte(schema7), &art); err != nil {
+		t.Fatalf("schema-7 artifact no longer parses: %v", err)
+	}
+	if art.Schema != 7 || len(art.ProcsLadder) != 3 || !art.Speedup[0].Affinity {
+		t.Fatalf("schema-7 fields misparsed: %+v", art)
+	}
+	if art.Durability != nil {
+		t.Fatalf("schema-7 artifact grew a durability report: %+v", art.Durability)
 	}
 }
 

@@ -265,6 +265,12 @@ type Options struct {
 	// identical with the flag on or off (the affinity parity suite pins
 	// this); only the scheduling changes. Ignored for sequential runs.
 	TableAffinity bool
+	// Durability, when non-nil, turns the session durable: absorbed
+	// external tuples are teed into a segmented write-ahead log with
+	// group commit, Gamma is checkpointed at quiescent boundaries, and a
+	// session started over an existing log directory recovers its state
+	// (newest valid checkpoint + WAL-tail replay). See DurabilityOptions.
+	Durability *DurabilityOptions
 	// Pool lets callers share an external fork/join pool across runs
 	// (benchmarks); when nil the run creates and owns one.
 	Pool PoolRef
@@ -417,6 +423,9 @@ func (p *Program) Validate(opts Options) error {
 	}
 	checkPlan("store plan", opts.StorePlan)
 	checkPlan("store plan hint", p.planHints)
+	if opts.Durability != nil {
+		errs = append(errs, opts.Durability.validate()...)
+	}
 	if len(errs) > 0 {
 		sort.Strings(errs)
 		return fmt.Errorf("jstar: %s", strings.Join(errs, "; "))

@@ -11,6 +11,7 @@ import (
 	"github.com/jstar-lang/jstar/internal/disruptor"
 	"github.com/jstar-lang/jstar/internal/gamma"
 	"github.com/jstar-lang/jstar/internal/tuple"
+	"github.com/jstar-lang/jstar/internal/wal"
 )
 
 // ErrSessionClosed is returned by Session operations after Close, and by
@@ -78,11 +79,23 @@ type Session struct {
 	replan   *replanner
 	quiesces int64
 
+	// Durability tier (Options.Durability); wal is nil when off. The
+	// coordinator tees absorbed tuples into the log, replays walTail after
+	// seeding, and checkpoints at quiescent boundaries; walBatch is its
+	// per-absorb scratch. lastCkptQuiesce drives the automatic cadence.
+	wal             *wal.Log
+	walTail         []*tuple.Tuple
+	walBatch        []*tuple.Tuple
+	recovery        *RecoveryInfo
+	ckptEvery       int
+	lastCkptQuiesce int64
+
 	mu        sync.Mutex
 	quiescent bool          // loop is parked with Delta and ring drained
 	consumed  []int64       // per-shard sequence absorbed at last quiescence
 	qGen      chan struct{} // closed and replaced at each quiescence
 	migrateQ  []*migrateRequest
+	ckptQ     []*checkpointRequest
 	err       error // first terminal failure
 	closed    bool
 }
@@ -135,6 +148,15 @@ func (r *Run) startSession(ctx context.Context) (*Session, error) {
 	}
 	if r.opts.ReplanEvery > 0 {
 		s.replan = newReplanner(r)
+	}
+	if d := r.opts.Durability; d != nil {
+		// Open (or recover) the log before the loop exists: checkpoint rows
+		// are bulk-restored into the still-single-owned Gamma database, and
+		// the WAL tail is parked for the loop to replay after seeding.
+		if err := s.openWAL(d); err != nil {
+			r.finish(s.start)
+			return nil, err
+		}
 	}
 	go s.loop()
 	return s, nil
@@ -191,6 +213,7 @@ func (s *Session) loop() {
 		// returning, so requests queued after this drain are rejected at
 		// enqueue — none are stranded without an answer.
 		s.failMigrations()
+		s.failCheckpoints()
 		close(s.loopDone)
 	}()
 	// Rule-body panics are contained by the engine (invokeGroup), but
@@ -204,6 +227,11 @@ func (s *Session) loop() {
 		}
 	}()
 	s.run.seed()
+	// Recovered WAL tail: refire the crashed run's absorbed-but-not-
+	// checkpointed input through the ordinary put path. The engine's
+	// determinism takes it to the same fixpoint; the first Drain below
+	// settles it together with the seeds.
+	s.replayTail()
 	for {
 		if err := s.run.executor.Drain(sessionHost{s}); err != nil {
 			if !errors.Is(err, ErrSessionClosed) {
@@ -219,6 +247,10 @@ func (s *Session) loop() {
 		if s.replan != nil {
 			s.replan.tick(s.quiesces)
 		}
+		// Checkpoints happen here and only here: the Gamma state is the
+		// fixpoint of exactly the absorbed (and teed) input prefix, so the
+		// durable watermark advances only at quiesced boundaries.
+		s.maybeCheckpoint()
 		s.markQuiescent()
 		select {
 		case <-s.notify:
@@ -278,6 +310,7 @@ func (s *Session) absorb() int {
 	}
 	slots := s.run.workerSlots()
 	affine := s.run.affine()
+	tee := s.wal != nil
 	total := 0
 	for shard := 0; shard < ing.ring.Shards(); shard++ {
 		slot := shard % slots
@@ -288,6 +321,9 @@ func (s *Session) absorb() int {
 			if affine {
 				sl = int(s.run.shardMap.OwnerID(t.Schema().ID())) % slots
 			}
+			if tee {
+				s.walBatch = append(s.walBatch, t)
+			}
 			s.run.put("event", nil, t, sl)
 			return true
 		})
@@ -295,6 +331,14 @@ func (s *Session) absorb() int {
 			s.run.stats.ShardAbsorbed[shard] += int64(n)
 			total += n
 		}
+	}
+	// The WAL tee: everything absorbed this pass becomes one batch record
+	// in the pending group. This is an encode, not a sync — the group
+	// commits by size or deadline, off the producers' path entirely.
+	if tee && len(s.walBatch) > 0 {
+		s.teeWAL(s.walBatch)
+		clear(s.walBatch)
+		s.walBatch = s.walBatch[:0]
 	}
 	return total
 }
@@ -695,6 +739,17 @@ func (s *Session) Close() error {
 		s.mu.Unlock()
 		close(s.closeCh)
 		<-s.loopDone
+		// Flush and fsync the WAL tail before returning: everything the
+		// coordinator absorbed (and therefore teed) is durable once Close
+		// returns, and the final segment is sealed into the hash chain. The
+		// durable watermark (checkpoint) is NOT advanced here — that only
+		// happens at quiescent boundaries, so a close racing in-flight puts
+		// can never claim coverage of a non-quiesced state.
+		if s.wal != nil {
+			if err := s.wal.Close(); err != nil {
+				s.fail(err)
+			}
+		}
 		s.run.finish(s.start)
 	})
 	return s.Err()

@@ -154,6 +154,22 @@ func (c *Client) Query(ctx context.Context, tenant, table, prefix string) ([]byt
 	return raw, nil
 }
 
+// CheckpointResult is the response of the checkpoint endpoint.
+type CheckpointResult struct {
+	Seq          uint64 `json:"seq"`
+	Tables       int    `json:"tables"`
+	Tuples       int    `json:"tuples"`
+	ElapsedNanos int64  `json:"elapsed_nanos"`
+}
+
+// Checkpoint forces a Gamma checkpoint on a durable tenant at its next
+// quiescent boundary.
+func (c *Client) Checkpoint(ctx context.Context, tenant string) (CheckpointResult, error) {
+	var out CheckpointResult
+	err := c.do(ctx, http.MethodPost, "/v1/tenants/"+url.PathEscape(tenant)+"/checkpoint", "", nil, &out)
+	return out, err
+}
+
 // Migrate requests a live store migration for table to spec.
 func (c *Client) Migrate(ctx context.Context, tenant, table, spec string) error {
 	body, _ := json.Marshal(map[string]string{"table": table, "spec": spec})

@@ -198,3 +198,37 @@ func (s *metricsSink) writeProm(w io.Writer, tenants int) {
 	fmt.Fprintf(w, "# TYPE jstar_serve_tenants gauge\njstar_serve_tenants %d\n", tenants)
 	fmt.Fprintf(w, "# TYPE jstar_serve_notifications_total counter\njstar_serve_notifications_total %d\n", notifications)
 }
+
+// writeWALProm renders per-tenant durability rows after the request
+// aggregates: WAL bytes on disk, group commits performed, and the age of
+// the newest checkpoint. Non-durable tenants emit nothing.
+func writeWALProm(w io.Writer, tenants []*Tenant) {
+	durable := tenants[:0:0]
+	for _, t := range tenants {
+		if _, ok := t.Session.WALStats(); ok {
+			durable = append(durable, t)
+		}
+	}
+	if len(durable) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE jstar_serve_wal_bytes_total counter\n")
+	for _, t := range durable {
+		st, _ := t.Session.WALStats()
+		fmt.Fprintf(w, "jstar_serve_wal_bytes_total{tenant=%q} %d\n", t.Name, st.Bytes)
+	}
+	fmt.Fprintf(w, "# TYPE jstar_serve_wal_group_commits_total counter\n")
+	for _, t := range durable {
+		st, _ := t.Session.WALStats()
+		fmt.Fprintf(w, "jstar_serve_wal_group_commits_total{tenant=%q} %d\n", t.Name, st.GroupCommits)
+	}
+	fmt.Fprintf(w, "# TYPE jstar_serve_wal_last_checkpoint_age_seconds gauge\n")
+	for _, t := range durable {
+		st, _ := t.Session.WALStats()
+		age := -1.0 // never checkpointed
+		if !st.LastCheckpoint.IsZero() {
+			age = time.Since(st.LastCheckpoint).Seconds()
+		}
+		fmt.Fprintf(w, "jstar_serve_wal_last_checkpoint_age_seconds{tenant=%q} %g\n", t.Name, age)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/jstar-lang/jstar/internal/core"
 	"github.com/jstar-lang/jstar/internal/gamma"
 	"github.com/jstar-lang/jstar/internal/tuple"
+	"github.com/jstar-lang/jstar/internal/wal"
 )
 
 var (
@@ -57,6 +58,11 @@ type Config struct {
 	// LongPollTimeout bounds a subscription poll with no explicit timeout
 	// parameter (default 30s, capped at 2m).
 	LongPollTimeout time.Duration
+	// TestWALFS, when non-nil, supplies the WAL filesystem for durable
+	// tenants whose config names no wal_dir — the crash-fault injection
+	// hook for tests (wal.FaultFS). Production tenants always name a
+	// directory; this is never settable over the wire.
+	TestWALFS func(tenant string) wal.FS
 }
 
 // Server hosts the tenant registry and the HTTP API. Create with New,
@@ -90,7 +96,7 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:    cfg,
-		reg:    newRegistry(cfg.MaxTenants),
+		reg:    newRegistry(cfg.MaxTenants, cfg.TestWALFS),
 		met:    newMetricsSink(cfg.MetricsCSV),
 		mux:    http.NewServeMux(),
 		ctx:    ctx,
@@ -122,6 +128,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.met.writeProm(w, s.reg.count())
+		writeWALProm(w, s.reg.list())
 	})
 	s.mux.HandleFunc("POST /v1/tenants", s.instrument("create", s.handleCreate))
 	s.mux.HandleFunc("GET /v1/tenants", s.instrument("list", s.handleList))
@@ -132,6 +139,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/query", s.instrument("query", s.handleQuery))
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/snapshot", s.instrument("snapshot", s.handleSnapshot))
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/migrate", s.instrument("migrate", s.handleMigrate))
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/subscribe", s.instrument("subscribe", s.handleSubscribe))
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/subscriptions/{id}/poll", s.instrument("poll", s.handlePoll))
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/subscriptions/{id}/events", s.instrument("events", s.handleEvents))
@@ -195,6 +203,23 @@ type tenantInfo struct {
 	Tables   []string         `json:"tables"`
 	Versions map[string]int64 `json:"versions"`
 	Subs     int              `json:"subscriptions"`
+	// Durable tenants additionally report WAL counters and, when the
+	// session was created over an existing log directory, what recovery
+	// found there.
+	Durable  bool               `json:"durable,omitempty"`
+	WAL      *walInfo           `json:"wal,omitempty"`
+	Recovery *core.RecoveryInfo `json:"recovery,omitempty"`
+}
+
+// walInfo is the JSON view of wal.Stats for the info endpoint.
+type walInfo struct {
+	Appended          uint64  `json:"appended"`
+	DurableSeq        uint64  `json:"durable_seq"`
+	Bytes             int64   `json:"bytes"`
+	GroupCommits      int64   `json:"group_commits"`
+	Segments          int     `json:"segments"`
+	CheckpointSeq     uint64  `json:"checkpoint_seq"`
+	CheckpointAgeSecs float64 `json:"checkpoint_age_seconds,omitempty"`
 }
 
 func (s *Server) info(t *Tenant) tenantInfo {
@@ -209,6 +234,22 @@ func (s *Server) info(t *Tenant) tenantInfo {
 		if v, err := t.Session.TableVersion(sch.Name); err == nil {
 			info.Versions[sch.Name] = v
 		}
+	}
+	if st, ok := t.Session.WALStats(); ok {
+		info.Durable = true
+		wi := &walInfo{
+			Appended:      st.Appended,
+			DurableSeq:    st.DurableSeq,
+			Bytes:         st.Bytes,
+			GroupCommits:  st.GroupCommits,
+			Segments:      st.Segments,
+			CheckpointSeq: st.CheckpointSeq,
+		}
+		if !st.LastCheckpoint.IsZero() {
+			wi.CheckpointAgeSecs = time.Since(st.LastCheckpoint).Seconds()
+		}
+		info.WAL = wi
+		info.Recovery = t.Session.Recovery()
 	}
 	return info
 }
@@ -418,6 +459,30 @@ func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request, m *Reques
 		return fail(w, http.StatusBadRequest, err)
 	}
 	return writeJSON(w, http.StatusOK, map[string]string{"table": body.Table, "spec": body.Spec})
+}
+
+// handleCheckpoint forces a Gamma checkpoint at the next quiescent
+// boundary and reports what it covered. Only durable tenants (created
+// with a durability config) accept it.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request, m *RequestMetrics) int {
+	t, status := s.tenant(w, r)
+	if t == nil {
+		return status
+	}
+	info, err := t.Session.Checkpoint(r.Context())
+	if err != nil {
+		if errors.Is(err, core.ErrSessionClosed) {
+			return failErr(w, err)
+		}
+		return fail(w, http.StatusBadRequest, err)
+	}
+	m.Tuples = int64(info.Tuples)
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"seq":           info.Seq,
+		"tables":        info.Tables,
+		"tuples":        info.Tuples,
+		"elapsed_nanos": info.Elapsed.Nanoseconds(),
+	})
 }
 
 // ---- subscriptions ----

@@ -6,11 +6,13 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/jstar-lang/jstar/internal/core"
 	"github.com/jstar-lang/jstar/internal/exec"
 	"github.com/jstar-lang/jstar/internal/gamma"
 	"github.com/jstar-lang/jstar/internal/lang"
+	"github.com/jstar-lang/jstar/internal/wal"
 )
 
 // TenantConfig is the JSON body of a create-tenant request: a named JStar
@@ -40,6 +42,31 @@ type TenantConfig struct {
 	// ring lane. 0 uses the server default; negative disables the ring
 	// check, leaving only the inflight semaphore.
 	AdmitPendingFraction float64 `json:"admit_pending_fraction,omitempty"`
+	// Durability, when present, makes the tenant durable: ingested tuples
+	// are journaled to a write-ahead log under WalDir, Gamma is
+	// checkpointed on the configured cadence, and creating a tenant over
+	// an existing WAL directory recovers its state before serving.
+	Durability *DurabilityConfig `json:"durability,omitempty"`
+}
+
+// DurabilityConfig is the JSON form of core.DurabilityOptions for one
+// tenant. The WAL's segment identity is the tenant name, so a directory
+// cannot silently be re-attached to a different tenant.
+type DurabilityConfig struct {
+	// WalDir is the log directory (required).
+	WalDir string `json:"wal_dir"`
+	// GroupCommitMillis / GroupCommitBytes tune the group commit: a
+	// pending group is fsynced when it reaches the byte threshold or the
+	// deadline, whichever first. Zero means the engine defaults
+	// (2ms / 64 KiB).
+	GroupCommitMillis int `json:"group_commit_millis,omitempty"`
+	GroupCommitBytes  int `json:"group_commit_bytes,omitempty"`
+	// CheckpointEvery writes a Gamma checkpoint every N quiescent
+	// boundaries that absorbed new input; 0 means checkpoint only on
+	// demand (POST /v1/tenants/{name}/checkpoint).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// SegmentBytes is the WAL segment rotation threshold (0 = 4 MiB).
+	SegmentBytes int64 `json:"segment_bytes,omitempty"`
 }
 
 var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
@@ -88,10 +115,14 @@ type registry struct {
 	mu         sync.Mutex
 	tenants    map[string]*Tenant
 	maxTenants int
+	// walFS, when non-nil, supplies the WAL filesystem for durable
+	// tenants whose config names no wal_dir — the crash-fault injection
+	// hook (Config.TestWALFS). Production configs always name a dir.
+	walFS func(tenant string) wal.FS
 }
 
-func newRegistry(maxTenants int) *registry {
-	return &registry{tenants: make(map[string]*Tenant), maxTenants: maxTenants}
+func newRegistry(maxTenants int, walFS func(string) wal.FS) *registry {
+	return &registry{tenants: make(map[string]*Tenant), maxTenants: maxTenants, walFS: walFS}
 }
 
 // create compiles cfg.Source, starts a session with the tenant's options,
@@ -113,7 +144,7 @@ func (r *registry) create(ctx context.Context, cfg TenantConfig, defaultInflight
 	r.tenants[cfg.Name] = nil // reserve the name while compiling
 	r.mu.Unlock()
 
-	t, err := buildTenant(ctx, cfg, defaultInflight, defaultAdmit)
+	t, err := r.buildTenant(ctx, cfg, defaultInflight, defaultAdmit)
 	r.mu.Lock()
 	if err != nil {
 		delete(r.tenants, cfg.Name)
@@ -124,7 +155,7 @@ func (r *registry) create(ctx context.Context, cfg TenantConfig, defaultInflight
 	return t, err
 }
 
-func buildTenant(ctx context.Context, cfg TenantConfig, defaultInflight int, defaultAdmit float64) (*Tenant, error) {
+func (r *registry) buildTenant(ctx context.Context, cfg TenantConfig, defaultInflight int, defaultAdmit float64) (*Tenant, error) {
 	prog, err := lang.CompileSource(cfg.Source)
 	if err != nil {
 		return nil, fmt.Errorf("serve: compile tenant %s: %w", cfg.Name, err)
@@ -145,6 +176,24 @@ func buildTenant(ctx context.Context, cfg TenantConfig, defaultInflight int, def
 		opts.StorePlan = make(gamma.StorePlan, len(cfg.StorePlan))
 		for k, v := range cfg.StorePlan {
 			opts.StorePlan[k] = v
+		}
+	}
+	if d := cfg.Durability; d != nil {
+		var fs wal.FS
+		if d.WalDir == "" && r.walFS != nil {
+			fs = r.walFS(cfg.Name)
+		}
+		if d.WalDir == "" && fs == nil {
+			return nil, fmt.Errorf("serve: tenant %s: durability.wal_dir is required", cfg.Name)
+		}
+		opts.Durability = &core.DurabilityOptions{
+			Dir:             d.WalDir,
+			FS:              fs,
+			Identity:        cfg.Name,
+			GroupBytes:      d.GroupCommitBytes,
+			GroupInterval:   time.Duration(d.GroupCommitMillis) * time.Millisecond,
+			SegmentBytes:    d.SegmentBytes,
+			CheckpointEvery: d.CheckpointEvery,
 		}
 	}
 	sess, err := prog.Start(ctx, opts)

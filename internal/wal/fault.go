@@ -1,0 +1,323 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS that distinguishes durable bytes (survived an
+// fsync) from volatile bytes (written but not yet synced) — the property a
+// crash-fault harness needs to simulate power loss precisely. It is also
+// handy for WAL-enabled tests and benchmarks that should not touch disk.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	durable  []byte // survives a simulated power cut
+	volatile []byte // written, not yet synced; lost on power cut
+}
+
+// NewMemFS returns an empty in-memory FS.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*memFile)} }
+
+func (m *MemFS) file(name string) *memFile {
+	f := m.files[name]
+	if f == nil {
+		f = &memFile{}
+		m.files[name] = f
+	}
+	return f
+}
+
+type memHandle struct {
+	fs   *MemFS
+	name string
+}
+
+func (h *memHandle) Write(p []byte) (int, error) { return h.fs.write(h.name, p) }
+func (h *memHandle) Sync() error                 { return h.fs.sync(h.name) }
+func (h *memHandle) Close() error                { return nil }
+
+func (m *MemFS) write(name string, p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.file(name)
+	f.volatile = append(f.volatile, p...)
+	return len(p), nil
+}
+
+func (m *MemFS) sync(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.file(name)
+	f.durable = append(f.durable, f.volatile...)
+	f.volatile = nil
+	return nil
+}
+
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	m.file(name)
+	m.mu.Unlock()
+	return &memHandle{fs: m, name: name}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: memfs: no file %q", name)
+	}
+	out := make([]byte, 0, len(f.durable)+len(f.volatile))
+	out = append(out, f.durable...)
+	return append(out, f.volatile...), nil
+}
+
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("wal: memfs: no file %q", name)
+	}
+	total := int64(len(f.durable) + len(f.volatile))
+	if size >= total {
+		return nil
+	}
+	if size <= int64(len(f.durable)) {
+		f.durable = f.durable[:size]
+		f.volatile = nil
+		return nil
+	}
+	f.volatile = f.volatile[:size-int64(len(f.durable))]
+	return nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("wal: memfs: no file %q", oldname)
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("wal: memfs: no file %q", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// durableClone returns a new MemFS holding only the durable bytes — the
+// state a machine reboots with after losing power.
+func (m *MemFS) durableClone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for name, f := range m.files {
+		out.files[name] = &memFile{durable: append([]byte(nil), f.durable...)}
+	}
+	return out
+}
+
+// FaultFS is the crash-fault injection harness: a MemFS whose writes and
+// fsyncs can be made to fail in the ways real storage fails. A test arms
+// one fault, drives the log until the fault fires (the simulated power
+// loss), then recovers from Durable() — the bytes a rebooted machine
+// would see — and asserts the recovery property: a quiesced state equal
+// to the uncrashed run's covering prefix, or a loud, located error.
+//
+// Faults (all 1-based ordinals, 0 = disarmed):
+//
+//   - CrashAtSync(n): power dies as the nth fsync begins — everything
+//     volatile at that point is lost.
+//   - FailSync(n): the nth fsync returns an I/O error without killing the
+//     process (a dying disk); the log must surface it loudly.
+//   - TearWrite(n, keep): power dies during the nth write; only its first
+//     keep bytes reach the medium (a torn record).
+//   - DropWrite(n): the nth write is acknowledged but never reaches the
+//     medium before power dies (a lying drive cache).
+//   - FlipBit(name, off): flips one bit of already-durable content — the
+//     historical tamper the segment hash chain must reject.
+type FaultFS struct {
+	mem *MemFS
+
+	mu      sync.Mutex
+	syncs   int
+	writes  int
+	crashAt int
+	failAt  int
+	tearAt  int
+	tearN   int
+	dropAt  int
+	crashed bool
+}
+
+// NewFaultFS returns a FaultFS with no fault armed.
+func NewFaultFS() *FaultFS { return &FaultFS{mem: NewMemFS()} }
+
+// CrashAtSync arms a power loss at the nth fsync (1-based).
+func (f *FaultFS) CrashAtSync(n int) { f.mu.Lock(); f.crashAt = n; f.mu.Unlock() }
+
+// FailSync makes the nth fsync return an error without crashing.
+func (f *FaultFS) FailSync(n int) { f.mu.Lock(); f.failAt = n; f.mu.Unlock() }
+
+// TearWrite arms a power loss during the nth write, keeping its first
+// keep bytes.
+func (f *FaultFS) TearWrite(n, keep int) { f.mu.Lock(); f.tearAt, f.tearN = n, keep; f.mu.Unlock() }
+
+// DropWrite arms a power loss after the nth write is acknowledged but
+// before it reaches the medium.
+func (f *FaultFS) DropWrite(n int) { f.mu.Lock(); f.dropAt = n; f.mu.Unlock() }
+
+// Crashed reports whether the armed fault has fired.
+func (f *FaultFS) Crashed() bool { f.mu.Lock(); defer f.mu.Unlock(); return f.crashed }
+
+// Syncs returns how many fsyncs have been observed — tests sweep crash
+// points by first counting a clean run's syncs.
+func (f *FaultFS) Syncs() int { f.mu.Lock(); defer f.mu.Unlock(); return f.syncs }
+
+// Durable returns the power-loss view: a fresh FS holding only bytes that
+// were durably synced (plus any surviving torn prefix) when the fault
+// fired. Recover from it as a rebooted process would.
+func (f *FaultFS) Durable() *MemFS { return f.mem.durableClone() }
+
+// FlipBit flips one bit of name's durable content at byte offset off —
+// post-hoc tampering with a sealed segment.
+func (f *FaultFS) FlipBit(name string, off int64) error {
+	f.mem.mu.Lock()
+	defer f.mem.mu.Unlock()
+	mf, ok := f.mem.files[name]
+	if !ok || off < 0 || off >= int64(len(mf.durable)) {
+		return fmt.Errorf("wal: flip bit: no durable byte %d in %q", off, name)
+	}
+	mf.durable[off] ^= 0x40
+	return nil
+}
+
+type faultHandle struct {
+	fs   *FaultFS
+	name string
+}
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	if _, err := f.mem.OpenAppend(name); err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, name: name}, nil
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	f := h.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	f.writes++
+	if f.tearAt > 0 && f.writes == f.tearAt {
+		keep := f.tearN
+		if keep > len(p) {
+			keep = len(p)
+		}
+		f.crashed = true
+		f.mu.Unlock()
+		// The torn prefix reached the medium: it must survive the cut, so
+		// write it straight to the durable image.
+		f.mem.mu.Lock()
+		mf := f.mem.file(h.name)
+		mf.durable = append(mf.durable, p[:keep]...)
+		f.mem.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if f.dropAt > 0 && f.writes == f.dropAt {
+		f.crashed = true
+		f.mu.Unlock()
+		return len(p), nil // acknowledged, never persisted
+	}
+	f.mu.Unlock()
+	return f.mem.write(h.name, p)
+}
+
+func (h *faultHandle) Sync() error {
+	f := h.fs
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	f.syncs++
+	if f.crashAt > 0 && f.syncs == f.crashAt {
+		f.crashed = true
+		f.mu.Unlock()
+		return ErrCrashed // volatile bytes are lost; durable image unchanged
+	}
+	if f.failAt > 0 && f.syncs == f.failAt {
+		f.mu.Unlock()
+		return fmt.Errorf("wal: injected fsync failure (sync %d)", f.syncs)
+	}
+	f.mu.Unlock()
+	return f.mem.sync(h.name)
+}
+
+func (h *faultHandle) Close() error { return nil }
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.mem.ReadFile(name)
+}
+
+func (f *FaultFS) List() ([]string, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.mem.List()
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return f.mem.Truncate(name, size)
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return f.mem.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return f.mem.Remove(name)
+}

@@ -160,6 +160,17 @@ type (
 	Session = core.Session
 	// RunStats carries the per-run usage statistics.
 	RunStats = core.RunStats
+	// DurabilityOptions turns a session durable (Options.Durability):
+	// absorbed tuples tee into a segmented, group-committed write-ahead
+	// log, Gamma is checkpointed at quiescent boundaries, and a session
+	// started over an existing log directory recovers its state.
+	DurabilityOptions = core.DurabilityOptions
+	// RecoveryInfo describes what Start recovered from a WAL directory
+	// (Session.Recovery).
+	RecoveryInfo = core.RecoveryInfo
+	// CheckpointInfo describes one published checkpoint
+	// (Session.Checkpoint).
+	CheckpointInfo = core.CheckpointInfo
 
 	// Tuple is an immutable relation row.
 	Tuple = tuple.Tuple
